@@ -1,0 +1,120 @@
+// Command figures regenerates the paper's evaluation artifacts: Table 1,
+// Table 2, Figures 3–9 and the §4 summary statistics, as text (and
+// optionally CSV).
+//
+// Usage:
+//
+//	figures -all            # everything (several minutes)
+//	figures -table1 -table2
+//	figures -fig 3 -fig 6   # selected figures
+//	figures -summary
+//	figures -all -csv out/  # additionally write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/figures"
+	"repro/internal/nas"
+	"repro/internal/report"
+)
+
+type figList []int
+
+func (f *figList) String() string { return fmt.Sprint(*f) }
+func (f *figList) Set(v string) error {
+	var n int
+	if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+		return err
+	}
+	if n < 3 || n > 9 {
+		return fmt.Errorf("figures 3–9 exist")
+	}
+	*f = append(*f, n)
+	return nil
+}
+
+func main() {
+	var figs figList
+	var (
+		all     = flag.Bool("all", false, "regenerate everything")
+		table1  = flag.Bool("table1", false, "regenerate Table 1")
+		table2  = flag.Bool("table2", false, "regenerate Table 2")
+		summary = flag.Bool("summary", false, "regenerate the §4 summary statistics")
+		csvDir  = flag.String("csv", "", "directory to also write CSV files into")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Var(&figs, "fig", "figure number to regenerate (repeatable, 3–9)")
+	flag.Parse()
+
+	if *all {
+		*table1, *table2, *summary = true, true, true
+		figs = []int{3, 4, 5, 6, 7, 8, 9}
+	}
+	if !*table1 && !*table2 && !*summary && len(figs) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	r := figures.NewRunner()
+	if !*quiet {
+		r.Verbose = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "… "+format+"\n", args...)
+		}
+	}
+
+	if *table2 {
+		fmt.Println(report.Table2())
+	}
+	if *table1 {
+		rows, err := r.Table1()
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println(report.Table1(rows))
+	}
+
+	// Figure number → generator.
+	gen := map[int]func() (*figures.Figure, error){
+		3: func() (*figures.Figure, error) { return r.BenchFigure(nas.BT, figures.Targets()[0]) },
+		4: func() (*figures.Figure, error) { return r.BenchFigure(nas.BT, figures.Targets()[1]) },
+		5: func() (*figures.Figure, error) { return r.BenchFigure(nas.BT, figures.Targets()[2]) },
+		6: r.LUFigure,
+		7: func() (*figures.Figure, error) { return r.BenchFigure(nas.SP, figures.Targets()[0]) },
+		8: func() (*figures.Figure, error) { return r.BenchFigure(nas.SP, figures.Targets()[1]) },
+		9: func() (*figures.Figure, error) { return r.BenchFigure(nas.SP, figures.Targets()[2]) },
+	}
+	for _, n := range figs {
+		f, err := gen[n]()
+		if err != nil {
+			fatal("figure %d: %v", n, err)
+		}
+		fmt.Println(report.Figure(f))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, fmt.Sprintf("%s.csv", f.ID))
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal("%v", err)
+			}
+			if err := os.WriteFile(path, []byte(report.FigureCSV(f)), 0o644); err != nil {
+				fatal("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+
+	if *summary {
+		s, err := r.Summarize()
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println(report.Summary(s))
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
+	os.Exit(1)
+}

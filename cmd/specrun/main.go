@@ -1,0 +1,58 @@
+// Command specrun runs the synthetic SPEC CPU2006 suite on a simulated
+// machine in throughput mode and prints runtimes and headline counters —
+// the "published benchmark data" side of SWAPP.
+//
+// Usage:
+//
+//	specrun -machine westmere-x5670
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/spec"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", arch.Hydra, "machine: "+strings.Join(arch.Names(), ", "))
+		noise   = flag.Bool("noise", false, "add measurement noise to the counters")
+	)
+	flag.Parse()
+
+	m, err := arch.Get(*machine)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("SPEC CPU2006 (throughput mode) on %s\n\n", m)
+	results, err := spec.RunSuite(m, *noise)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("%-18s %6s %10s %8s %8s %10s %10s\n",
+		"benchmark", "suite", "runtime", "CPI", "stall%", "L3/instr", "BW GB/s")
+	for _, name := range spec.SortedNames(results) {
+		r := results[name]
+		b, _ := spec.ByName(name)
+		fmt.Printf("%-18s %6s %10s %8.2f %7.1f%% %10.4f %10.2f\n",
+			name, suiteTag(b.Group), units.FormatSeconds(r.ST.Runtime),
+			r.ST.CPI, 100*r.ST.CPIStallTotal/r.ST.CPI, r.ST.DataFromL3, r.ST.MemBWGBs)
+	}
+}
+
+func suiteTag(g spec.SuiteGroup) string {
+	if g == spec.CINT {
+		return "int"
+	}
+	return "fp"
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "specrun: "+format+"\n", args...)
+	os.Exit(1)
+}

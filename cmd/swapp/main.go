@@ -1,0 +1,92 @@
+// Command swapp projects the performance of a NAS Multi-Zone benchmark
+// onto a target machine using the SWAPP pipeline, optionally validating
+// the projection against a measured (simulated) run.
+//
+// Usage:
+//
+//	swapp -bench BT-MZ -class C -ranks 64 -target power6-575 [-validate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	swapp "repro"
+	"repro/internal/nas"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "BT-MZ", "benchmark: BT-MZ, SP-MZ or LU-MZ")
+		class    = flag.String("class", "C", "problem class: C or D")
+		ranks    = flag.Int("ranks", 64, "target core count Ck")
+		target   = flag.String("target", swapp.TargetPower6, "target machine: "+strings.Join(swapp.MachineNames(), ", "))
+		base     = flag.String("base", swapp.BaseHydra, "base machine")
+		validate = flag.Bool("validate", false, "also run the application on the target and report the error")
+	)
+	flag.Parse()
+
+	if len(*class) != 1 {
+		fatal("class must be a single letter (C or D)")
+	}
+	req := swapp.Request{
+		Base:   *base,
+		Target: *target,
+		Bench:  nas.Benchmark(*bench),
+		Class:  nas.Class((*class)[0]),
+		Ranks:  *ranks,
+	}
+
+	var res *swapp.Result
+	var err error
+	if *validate {
+		res, err = swapp.ProjectAndValidate(req)
+	} else {
+		res, err = swapp.Project(req)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	p := res.Projection
+	fmt.Println(res)
+	fmt.Printf("\ncompute component:\n")
+	fmt.Printf("  characterised at Ci=%d, γ=%.3f (CCSM)\n", p.Compute.CharCount, p.Gamma)
+	if p.HyperScaled {
+		fmt.Printf("  ACSM: cache-footprint transition at Ch≈%.0f cores (hyper-scaling regime)\n", p.ACSM.Ch)
+	}
+	fmt.Printf("  metric-group ranking (most significant first): G%d G%d G%d G%d G%d G%d\n",
+		p.Compute.Ranking[0], p.Compute.Ranking[1], p.Compute.Ranking[2],
+		p.Compute.Ranking[3], p.Compute.Ranking[4], p.Compute.Ranking[5])
+	fmt.Printf("  surrogate (Eq. 2):\n")
+	for _, term := range p.Compute.Surrogate {
+		fmt.Printf("    %-18s w=%.4f\n", term.Bench, term.Weight)
+	}
+	fmt.Printf("\ncommunication component (Eq. 5/6, per task):\n")
+	fmt.Printf("  %-14s %10s %12s %12s %12s\n", "routine", "calls", "T_transfer", "T_wait", "T_elapsed")
+	for _, rp := range p.Comm.Routines {
+		fmt.Printf("  %-14s %10.1f %12s %12s %12s\n",
+			rp.Routine, rp.Calls,
+			units.FormatSeconds(rp.TargetTransfer),
+			units.FormatSeconds(rp.TargetWait),
+			units.FormatSeconds(rp.TargetElapsed()))
+	}
+	if res.Validation != nil {
+		v := res.Validation
+		fmt.Printf("\nvalidation against the measured run:\n")
+		fmt.Printf("  combined    %+7.2f%%\n", v.ErrCombined)
+		fmt.Printf("  computation %+7.2f%%\n", v.ErrCompute)
+		fmt.Printf("  comm        %+7.2f%%\n", v.ErrComm)
+		for cls, e := range v.ErrByClass {
+			fmt.Printf("  %-11s %+7.2f%%\n", cls, e)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "swapp: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Procurement: the paper's motivating use case — a site is buying a new
+// system and wants to know how its workload would perform on candidate
+// machines it cannot benchmark directly.
+//
+// The site's workload mix is three applications with different characters
+// (compute-bound LU-MZ, exchange-heavy SP-MZ, imbalance-prone BT-MZ), each
+// weighted by its share of the site's cycles. SWAPP projects each
+// application onto every candidate from base-machine profiles plus the
+// candidates' published SPEC/IMB numbers, and ranks the candidates by
+// workload-weighted throughput gain.
+//
+// Run with:
+//
+//	go run ./examples/procurement
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	swapp "repro"
+	"repro/internal/arch"
+	"repro/internal/nas"
+)
+
+// workloadItem is one application's share of the site's cycle budget.
+type workloadItem struct {
+	Bench  nas.Benchmark
+	Class  nas.Class
+	Ranks  int
+	Weight float64 // fraction of site cycles
+}
+
+func main() {
+	workload := []workloadItem{
+		{swapp.BT, swapp.ClassC, 64, 0.5},
+		{swapp.SP, swapp.ClassC, 64, 0.3},
+		{swapp.LU, swapp.ClassC, 16, 0.2},
+	}
+	candidates := []string{swapp.TargetPower6, swapp.TargetBlueGene, swapp.TargetWestmere}
+
+	fmt.Println("Procurement study: projecting the site workload onto candidate systems")
+	fmt.Printf("base machine: %s\n\n", swapp.BaseHydra)
+
+	type score struct {
+		target string
+		// speedup is the workload-weighted base/target runtime ratio:
+		// >1 means the candidate runs the mix faster than the base.
+		speedup float64
+	}
+	var scores []score
+
+	for _, target := range candidates {
+		fmt.Printf("candidate %s:\n", target)
+		weighted := 0.0
+		for _, item := range workload {
+			res, err := swapp.Project(swapp.Request{
+				Target: target,
+				Bench:  item.Bench, Class: item.Class, Ranks: item.Ranks,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Base-side reference: the application's profiled time at
+			// the same count (compute + communication on the base).
+			baseRes, err := nas.Run(nas.Config{Bench: item.Bench, Class: item.Class, Ranks: item.Ranks},
+				arch.MustGet(swapp.BaseHydra))
+			if err != nil {
+				log.Fatal(err)
+			}
+			ratio := baseRes.Makespan / res.TotalSeconds()
+			weighted += item.Weight * ratio
+			fmt.Printf("  %-8s class %c @%3d ranks: projected %8.1fs (base %8.1fs, speedup ×%.2f, weight %.0f%%)\n",
+				item.Bench, item.Class, item.Ranks, res.TotalSeconds(), baseRes.Makespan, ratio, item.Weight*100)
+		}
+		fmt.Printf("  workload-weighted speedup over base: ×%.2f\n\n", weighted)
+		scores = append(scores, score{target, weighted})
+	}
+
+	sort.Slice(scores, func(i, j int) bool { return scores[i].speedup > scores[j].speedup })
+	fmt.Println("ranking (best candidate first):")
+	for i, s := range scores {
+		fmt.Printf("  %d. %-16s ×%.2f\n", i+1, s.target, s.speedup)
+	}
+}

@@ -1,0 +1,96 @@
+// Scalingstudy: the CCSM and ACSM models in isolation (paper §3).
+//
+// SWAPP scales compute projections across core counts with two models:
+// the Compute Component Strong Scaling Model (a power-law fit of per-task
+// compute time vs core count, giving the γ factor of Eq. 7) and the
+// Application Cache Strong Scaling Model (extrapolating the G5
+// data-from-L3 counter to find the core count Ch where the per-rank
+// working set drops into a lower cache level and the application
+// hyper-scales).
+//
+// This example profiles BT-MZ class C at a few core counts on the base
+// machine, fits both models, prints the scaling table, and shows how the
+// γ-scaled projection compares with brute-force profiled times — including
+// across the hyper-scaling point.
+//
+// Run with:
+//
+//	go run ./examples/scalingstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/nas"
+	"repro/internal/units"
+)
+
+func main() {
+	base := arch.MustGet(arch.Hydra)
+	target := arch.MustGet(arch.Power6)
+	counts := []int{16, 32, 64, 128}
+
+	fmt.Println("Strong-scaling study: BT-MZ class C on the base machine")
+	fmt.Println()
+
+	pipe, err := core.NewPipeline(base, target, counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := pipe.CharacterizeApp(nas.BT, nas.ClassC, counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// CCSM: fit per-task compute time against core count.
+	ccsm, err := core.FitCCSM(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CCSM fit: time(C) = %.3g · C^%.3f   (P = -1 would be ideal strong scaling)\n\n", ccsm.K, ccsm.P)
+	fmt.Printf("%8s %14s %14s %10s %14s\n", "cores", "profiled", "CCSM fit", "γ from 16", "DataFromL3")
+	for _, c := range counts {
+		prof := app.Profiles[c].MeanCompute()
+		fit := ccsm.TimeAt(c)
+		fmt.Printf("%8d %14s %14s %10.3f %14.5f\n",
+			c, units.FormatSeconds(prof), units.FormatSeconds(fit),
+			ccsm.Gamma(16, c), app.Counters[c].ST.DataFromL3)
+	}
+
+	// ACSM: where does the footprint drop into a lower cache level?
+	acsm := core.FitACSM(app)
+	fmt.Println()
+	if acsm.Valid && !math.IsInf(acsm.Ch, 1) {
+		fmt.Printf("ACSM: data-from-L3 extrapolates to zero at Ch ≈ %.0f cores\n", acsm.Ch)
+		fmt.Printf("      (beyond Ch the working set fits in L2: expect hyper-scaling,\n")
+		fmt.Printf("       and the power-law γ becomes unreliable across that boundary)\n")
+	} else {
+		fmt.Println("ACSM: no cache-footprint transition within the profiled range")
+	}
+
+	// Demonstrate γ-scaled projection at an unprofiled count.
+	const ck = 96
+	proj, err := pipe.Project(app, ck)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprojection at the unprofiled count %d (γ = %.3f", ck, proj.Gamma)
+	if proj.HyperScaled {
+		fmt.Printf(", crosses Ch — ACSM flags hyper-scaling")
+	}
+	fmt.Printf("):\n  %s on %s (compute %s + comm %s)\n",
+		units.FormatSeconds(proj.Total), target.Name,
+		units.FormatSeconds(proj.ComputeTime), units.FormatSeconds(proj.CommTime))
+
+	// Compare against the brute-force answer: actually profile at 96.
+	v, err := pipe.Validate(app, ck)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  measured %s → combined error %+.2f%%\n",
+		units.FormatSeconds(v.MeasuredTotal), v.ErrCombined)
+}

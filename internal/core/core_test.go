@@ -1,0 +1,425 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/mpi"
+	"repro/internal/mpiprof"
+	"repro/internal/nas"
+)
+
+// Shared pipeline fixtures: building one costs a few seconds (SPEC suites
+// on two machines + IMB sweeps), so tests share them.
+var (
+	pipeOnce  sync.Once
+	pipeP6    *Pipeline
+	pipeBG    *Pipeline
+	pipeErr   error
+	appLUOnce sync.Once
+	appLU     *AppModel
+	appLUErr  error
+)
+
+func sharedPipes(t *testing.T) (*Pipeline, *Pipeline) {
+	t.Helper()
+	pipeOnce.Do(func() {
+		base := arch.MustGet(arch.Hydra)
+		pipeP6, pipeErr = NewPipeline(base, arch.MustGet(arch.Power6), []int{4, 8, 16})
+		if pipeErr != nil {
+			return
+		}
+		pipeBG, pipeErr = NewPipeline(base, arch.MustGet(arch.BlueGene), []int{4, 8, 16})
+	})
+	if pipeErr != nil {
+		t.Fatal(pipeErr)
+	}
+	return pipeP6, pipeBG
+}
+
+func sharedLU(t *testing.T) *AppModel {
+	t.Helper()
+	p, _ := sharedPipes(t)
+	appLUOnce.Do(func() {
+		appLU, appLUErr = p.CharacterizeApp(nas.LU, nas.ClassC, []int{4, 8, 16})
+	})
+	if appLUErr != nil {
+		t.Fatal(appLUErr)
+	}
+	return appLU
+}
+
+func TestNewPipelineGathersData(t *testing.T) {
+	p, _ := sharedPipes(t)
+	if len(p.SpecBase) != 29 || len(p.SpecTarget) != 29 {
+		t.Fatalf("SPEC data incomplete: %d base, %d target", len(p.SpecBase), len(p.SpecTarget))
+	}
+	for _, c := range []int{4, 8, 16} {
+		if p.IMBBase[c] == nil || p.IMBTarget[c] == nil {
+			t.Errorf("IMB tables missing at %d ranks", c)
+		}
+	}
+	if _, _, err := p.imbAt(999); err == nil {
+		t.Error("unknown core count must error")
+	}
+}
+
+func TestCharacterizeApp(t *testing.T) {
+	app := sharedLU(t)
+	if app.Name() != "LU-MZ.C" {
+		t.Errorf("app name = %q", app.Name())
+	}
+	for _, c := range []int{4, 8, 16} {
+		if app.Profiles[c] == nil {
+			t.Fatalf("missing profile at %d", c)
+		}
+		cp := app.Counters[c]
+		if cp == nil || cp.ST.Runtime <= 0 {
+			t.Fatalf("missing counters at %d", c)
+		}
+		if len(cp.CharacterVector()) != 26 {
+			t.Fatalf("character vector length %d", len(cp.CharacterVector()))
+		}
+	}
+	// Strong scaling: per-task compute shrinks with core count.
+	if app.baseComputeAt(16) >= app.baseComputeAt(4) {
+		t.Error("per-task compute must shrink under strong scaling")
+	}
+	if app.nearestCount(12) != 8 && app.nearestCount(12) != 16 {
+		t.Errorf("nearestCount(12) = %d", app.nearestCount(12))
+	}
+	if app.nearestCount(16) != 16 {
+		t.Error("exact count must be preferred")
+	}
+}
+
+func TestProjectCompute(t *testing.T) {
+	p, _ := sharedPipes(t)
+	app := sharedLU(t)
+	cp, err := p.ProjectCompute(app, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Surrogate) == 0 || len(cp.Surrogate) > surrogateMaxSize {
+		t.Fatalf("surrogate size %d out of bounds", len(cp.Surrogate))
+	}
+	var wsum float64
+	for _, term := range cp.Surrogate {
+		if term.Weight <= 0 {
+			t.Errorf("non-positive coefficient for %s", term.Bench)
+		}
+		if _, ok := p.SpecBase[term.Bench]; !ok {
+			t.Errorf("surrogate member %s not in the pool", term.Bench)
+		}
+		wsum += term.Weight
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Errorf("coefficients must sum to 1, got %v", wsum)
+	}
+	if cp.TargetTime <= 0 || cp.BaseTime <= 0 {
+		t.Error("projection must be positive")
+	}
+	// POWER6 at 4.7 GHz should run LU's compute faster per task than the
+	// 1.9 GHz base — the ratio must at least be well under 1.5.
+	if cp.SpeedupRatio() > 1.5 {
+		t.Errorf("implausible P6 ratio %v", cp.SpeedupRatio())
+	}
+	// Ranking covers each group exactly once.
+	seen := map[int]bool{}
+	for _, g := range cp.Ranking {
+		if g < 1 || g > 6 || seen[g] {
+			t.Fatalf("bad ranking %v", cp.Ranking)
+		}
+		seen[g] = true
+	}
+	if _, err := p.ProjectCompute(app, 999); err == nil {
+		t.Error("unknown count must error")
+	}
+}
+
+func TestProjectComputeDeterministic(t *testing.T) {
+	p, _ := sharedPipes(t)
+	app := sharedLU(t)
+	a, err := p.ProjectCompute(app, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.ProjectCompute(app, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TargetTime != b.TargetTime || a.Fitness != b.Fitness {
+		t.Error("compute projection must be deterministic")
+	}
+}
+
+func TestCCSM(t *testing.T) {
+	app := sharedLU(t)
+	m, err := FitCCSM(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong scaling: negative exponent near -1.
+	if m.P >= 0 || m.P < -1.5 {
+		t.Errorf("CCSM exponent %v implausible", m.P)
+	}
+	if g := m.Gamma(16, 16); g != 1 {
+		t.Errorf("Gamma(16,16) = %v", g)
+	}
+	// Halving core count should roughly double per-task time.
+	g := m.Gamma(16, 8)
+	if g < 1.5 || g > 2.5 {
+		t.Errorf("Gamma(16,8) = %v, want ≈2", g)
+	}
+	if m.TimeAt(8) <= m.TimeAt(16) {
+		t.Error("per-task time must grow at lower counts")
+	}
+}
+
+func TestACSM(t *testing.T) {
+	app := sharedLU(t)
+	a := FitACSM(app)
+	// Whatever the trend, the result must be well-formed.
+	if a.Valid && a.Ch <= 0 {
+		t.Errorf("valid ACSM with non-positive Ch %v", a.Ch)
+	}
+	if a.HyperScalesBetween(4, 4) {
+		t.Error("empty interval cannot contain Ch")
+	}
+	// An explicitly descending synthetic model finds the crossing.
+	synthetic := &AppModel{Counts: []int{4, 8, 16}, Counters: map[int]*CounterPair{}}
+	for i, c := range synthetic.Counts {
+		cp := &CounterPair{Ranks: c}
+		cp.ST.DataFromL3 = 0.03 - 0.01*float64(i) // hits 0 at the next doubling
+		synthetic.Counters[c] = cp
+	}
+	sa := FitACSM(synthetic)
+	if !sa.Valid {
+		t.Fatal("descending trend must fit")
+	}
+	if sa.Ch < 16 || sa.Ch > 64 {
+		t.Errorf("Ch = %v, want in (16, 64)", sa.Ch)
+	}
+	if !sa.HyperScalesBetween(16, 128) {
+		t.Error("Ch must lie between 16 and 128")
+	}
+}
+
+func TestACSMAllZero(t *testing.T) {
+	synthetic := &AppModel{Counts: []int{4, 8}, Counters: map[int]*CounterPair{
+		4: {Ranks: 4}, 8: {Ranks: 8},
+	}}
+	a := FitACSM(synthetic)
+	if !a.Valid || a.Ch != 4 {
+		t.Errorf("already-contained footprint should give Ch = first count, got %+v", a)
+	}
+}
+
+func TestProjectComm(t *testing.T) {
+	p, _ := sharedPipes(t)
+	app := sharedLU(t)
+	comm, err := p.ProjectComm(app, 16, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comm.WaitScale <= 0 {
+		t.Errorf("wait scale %v", comm.WaitScale)
+	}
+	if comm.TargetTotal() <= 0 || comm.BaseTotal() <= 0 {
+		t.Error("communication projection must be positive")
+	}
+	seen := map[mpi.Routine]bool{}
+	for _, rp := range comm.Routines {
+		if seen[rp.Routine] {
+			t.Errorf("duplicate routine %s", rp.Routine)
+		}
+		seen[rp.Routine] = true
+		// Eq. 4: base elapsed = transfer + wait, exactly, after capping.
+		if math.Abs(rp.BaseElapsed-(rp.BaseTransfer+rp.BaseWait)) > 1e-12 {
+			t.Errorf("%s: Eq. 4 decomposition broken", rp.Routine)
+		}
+		if rp.BaseWait < 0 || rp.TargetTransfer < 0 || rp.TargetWait < 0 {
+			t.Errorf("%s: negative component", rp.Routine)
+		}
+		if rp.TargetElapsed() != rp.TargetTransfer+rp.TargetWait {
+			t.Errorf("%s: Eq. 5 broken", rp.Routine)
+		}
+	}
+	// The boundary exchange must be present.
+	if !seen[mpi.RoutineWaitall] || !seen[mpi.RoutineIsend] {
+		t.Error("P2P-NB routines missing from the projection")
+	}
+	byClass := comm.TargetByClass()
+	var sum float64
+	for _, v := range byClass {
+		sum += v
+	}
+	if math.Abs(sum-comm.TargetTotal()) > 1e-12 {
+		t.Error("class decomposition must sum to the total")
+	}
+	if _, err := p.ProjectComm(app, 999, 0.5); err == nil {
+		t.Error("unknown count must error")
+	}
+}
+
+func TestWaitScaleBlend(t *testing.T) {
+	p, _ := sharedPipes(t)
+	app := sharedLU(t)
+	slow, err := p.ProjectComm(app, 16, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := p.ProjectComm(app, 16, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.WaitScale <= fast.WaitScale {
+		t.Error("a slower target must scale WaitTime up relative to a faster one")
+	}
+}
+
+func TestProjectCombined(t *testing.T) {
+	p, _ := sharedPipes(t)
+	app := sharedLU(t)
+	proj, err := p.Project(app, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Ck != 16 || proj.App != "LU-MZ.C" || proj.Target != arch.Power6 {
+		t.Error("projection labels wrong")
+	}
+	if proj.Gamma != 1 {
+		t.Errorf("profiled count must give γ = 1, got %v", proj.Gamma)
+	}
+	if math.Abs(proj.Total-(proj.ComputeTime+proj.CommTime)) > 1e-12 {
+		t.Error("combined projection must be the sum of the components")
+	}
+}
+
+func TestProjectUnprofiledCountUsesCCSM(t *testing.T) {
+	p, _ := sharedPipes(t)
+	app := sharedLU(t)
+	proj, err := p.Project(app, 12) // not profiled: between 8 and 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Gamma == 1 {
+		t.Error("unprofiled count must engage the CCSM γ")
+	}
+	// Sanity: per-task compute at 12 ranks sits between the 8- and
+	// 16-rank projections.
+	at8, err := p.Project(app, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at16, err := p.Project(app, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(proj.ComputeTime < at8.ComputeTime && proj.ComputeTime > at16.ComputeTime) {
+		t.Errorf("compute at 12 (%v) must sit between 8 (%v) and 16 (%v)",
+			proj.ComputeTime, at8.ComputeTime, at16.ComputeTime)
+	}
+}
+
+func TestValidateProducesErrors(t *testing.T) {
+	p, _ := sharedPipes(t)
+	app := sharedLU(t)
+	v, err := p.Validate(app, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MeasuredTotal <= 0 || v.MeasuredCompute <= 0 || v.MeasuredComm <= 0 {
+		t.Fatal("measured side incomplete")
+	}
+	if v.AbsErrCombined() != math.Abs(v.ErrCombined) {
+		t.Error("AbsErrCombined broken")
+	}
+	// The reproduction's whole point: projecting LU onto POWER6 must land
+	// within the paper's error regime (they report ≤15 %; allow slack).
+	if v.AbsErrCombined() > 25 {
+		t.Errorf("LU-MZ on POWER6 projects at %.1f%% error; expected the paper's regime", v.AbsErrCombined())
+	}
+	if _, ok := v.ErrByClass[mpi.ClassP2PNB]; !ok {
+		t.Error("per-class errors missing")
+	}
+}
+
+func TestPctErr(t *testing.T) {
+	if pctErr(110, 100) != 10 || pctErr(90, 100) != -10 {
+		t.Error("pctErr wrong")
+	}
+	if pctErr(0, 0) != 0 {
+		t.Error("0/0 must be 0")
+	}
+	if pctErr(5, 0) != 100 {
+		t.Error("nonzero/0 convention broken")
+	}
+}
+
+func TestSplitX(t *testing.T) {
+	// 50 calls, 400 messages at offset 1 (same node for cpn≥2) and 200 at
+	// offset 16.
+	se := &mpiprof.SizeEntry{Calls: 50, Messages: 600, Offsets: map[int]int{1: 400, 16: 200}}
+	xi, xe := splitX(se, 16)
+	// offset1: frac 15/16 intra; offset16: 0 intra.
+	wantIntra := (400.0 * 15 / 16) / 50 / 2
+	wantInter := (400.0*1/16 + 200) / 50 / 2
+	if math.Abs(xi-wantIntra) > 1e-9 || math.Abs(xe-wantInter) > 1e-9 {
+		t.Errorf("splitX = (%v,%v), want (%v,%v)", xi, xe, wantIntra, wantInter)
+	}
+	// Wider nodes absorb the offset-16 traffic.
+	xi32, xe32 := splitX(se, 32)
+	if xi32 <= xi || xe32 >= xe {
+		t.Error("wider nodes must increase the intra share")
+	}
+	// No pattern: assume everything inter.
+	bare := &mpiprof.SizeEntry{Calls: 10, Messages: 40}
+	xi0, xe0 := splitX(bare, 16)
+	if xi0 != 0 || xe0 != 2 {
+		t.Errorf("bare entry splitX = (%v,%v), want (0,2)", xi0, xe0)
+	}
+}
+
+func TestIntraFraction(t *testing.T) {
+	cases := []struct {
+		off, cpn int
+		want     float64
+	}{
+		{0, 16, 1}, {16, 16, 0}, {8, 16, 0.5}, {1, 16, 15.0 / 16}, {20, 16, 0},
+	}
+	for _, c := range cases {
+		if got := intraFraction(c.off, c.cpn); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("intraFraction(%d,%d) = %v, want %v", c.off, c.cpn, got, c.want)
+		}
+	}
+}
+
+func TestGroupContributionsNormalised(t *testing.T) {
+	app := sharedLU(t)
+	g := groupContributions(&app.Counters[16].ST, nil)
+	var sum float64
+	for _, v := range g {
+		if v < 0 {
+			t.Errorf("negative contribution %v", g)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("contributions must normalise, got %v", sum)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	if c := correlation([]float64{1, 2, 3}, []float64{2, 4, 6}); math.Abs(c-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", c)
+	}
+	if c := correlation([]float64{1, 2, 3}, []float64{3, 2, 1}); math.Abs(c+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", c)
+	}
+	if c := correlation([]float64{1, 1, 1}, []float64{1, 2, 3}); c != 0 {
+		t.Errorf("degenerate correlation = %v", c)
+	}
+}

@@ -1,0 +1,229 @@
+// Package core implements SWAPP — Surrogate-based Workload Application
+// Performance Projection — the paper's contribution. It projects the
+// runtime of an HPC application onto a target machine using only:
+//
+//   - the application's profile on a base machine (MPI profile + hardware
+//     counters at a few core counts), and
+//   - benchmark data (SPEC CPU2006, IMB + multi-Sendrecv) on both the base
+//     and target machines.
+//
+// The target machine is never given the application. The pipeline projects
+// the compute component (§2.3: metric groups → ranking → base→target rank
+// adjustment → GA surrogate search → Eq. 2) and the communication component
+// (§2.4: MPI model × Eq. 3 target parameters, WaitTime extraction and
+// scaling) separately, scales them with the CCSM and ACSM models (§3), and
+// combines them (Eq. 6/7) into the full application projection.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/hpm"
+	"repro/internal/imb"
+	"repro/internal/mpiprof"
+	"repro/internal/nas"
+	"repro/internal/spec"
+	"repro/internal/units"
+)
+
+// Pipeline holds the benchmark data SWAPP is allowed to use for one
+// (base, target) machine pair: everything here is either measured on the
+// base machine or is "published benchmark data" for the target.
+type Pipeline struct {
+	Base   *arch.Machine
+	Target *arch.Machine
+
+	// SPEC CPU2006: counters + runtimes on the base, runtimes on the
+	// target (the paper uses published target numbers).
+	SpecBase   map[string]spec.Result
+	SpecTarget map[string]spec.Result
+
+	// IMB + multi-Sendrecv parameter tables per core count (Eq. 3).
+	IMBBase   map[int]*imb.Table
+	IMBTarget map[int]*imb.Table
+}
+
+// NewPipeline gathers benchmark data for a machine pair at the given job
+// core counts. This is the expensive, application-independent setup the
+// paper assumes done once per machine pair.
+func NewPipeline(base, target *arch.Machine, rankCounts []int) (*Pipeline, error) {
+	p := &Pipeline{
+		Base:      base,
+		Target:    target,
+		IMBBase:   map[int]*imb.Table{},
+		IMBTarget: map[int]*imb.Table{},
+	}
+	var err error
+	// Base-side SPEC runs carry measurement noise (we ran them); the
+	// target numbers are published averages — modelled as noisy too.
+	if p.SpecBase, err = spec.RunSuite(base, true); err != nil {
+		return nil, fmt.Errorf("core: SPEC on base: %w", err)
+	}
+	if p.SpecTarget, err = spec.RunSuite(target, true); err != nil {
+		return nil, fmt.Errorf("core: SPEC on target: %w", err)
+	}
+	for _, c := range rankCounts {
+		if _, done := p.IMBBase[c]; done {
+			continue
+		}
+		tb, err := imb.Run(base, c, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: IMB on base at %d ranks: %w", c, err)
+		}
+		tt, err := imb.Run(target, c, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: IMB on target at %d: %w", c, err)
+		}
+		p.IMBBase[c] = tb
+		p.IMBTarget[c] = tt
+	}
+	return p, nil
+}
+
+// imbAt fetches a machine-pair's IMB tables for a core count, erroring if
+// the pipeline was not prepared for it.
+func (p *Pipeline) imbAt(c int) (baseT, targetT *imb.Table, err error) {
+	baseT, ok1 := p.IMBBase[c]
+	targetT, ok2 := p.IMBTarget[c]
+	if !ok1 || !ok2 {
+		return nil, nil, fmt.Errorf("core: pipeline has no IMB tables for %d ranks", c)
+	}
+	return baseT, targetT, nil
+}
+
+// CounterPair is one application characterisation observation: ST and SMT
+// hardware-counter runs at one core count on the base machine.
+type CounterPair struct {
+	Ranks int
+	ST    hpm.Counters
+	SMT   hpm.Counters
+}
+
+// CharacterVector concatenates the ST and SMT metric vectors, matching
+// spec.Result.CharacterVector's layout.
+func (cp *CounterPair) CharacterVector() []float64 {
+	return append(cp.ST.Vector(), cp.SMT.Vector()...)
+}
+
+// AppModel is everything SWAPP knows about an application: base-machine
+// MPI profiles and hardware counters at several core counts. It never
+// contains target-machine measurements.
+type AppModel struct {
+	Bench nas.Benchmark
+	Class nas.Class
+
+	// Counts are the base-machine core counts profiled, ascending.
+	Counts []int
+	// Profiles holds the base MPI profile per core count (§2.2).
+	Profiles map[int]*mpiprof.Profile
+	// Counters holds the ST+SMT counter observations per core count.
+	Counters map[int]*CounterPair
+}
+
+// Name is the workload identity.
+func (a *AppModel) Name() string { return fmt.Sprintf("%s.%s", a.Bench, a.Class) }
+
+// CharacterizeApp runs the application on the base machine at each core
+// count, collecting MPI profiles and (noisy) hardware counters — the §2
+// measurement phase. counts nil defaults to the paper's sweep for the
+// benchmark.
+func (p *Pipeline) CharacterizeApp(b nas.Benchmark, c nas.Class, counts []int) (*AppModel, error) {
+	if counts == nil {
+		counts = nas.PaperRankCounts(b)
+	}
+	app := &AppModel{
+		Bench:    b,
+		Class:    c,
+		Counts:   append([]int(nil), counts...),
+		Profiles: map[int]*mpiprof.Profile{},
+		Counters: map[int]*CounterPair{},
+	}
+	sort.Ints(app.Counts)
+	for _, ranks := range app.Counts {
+		inst, err := nas.New(nas.Config{Bench: b, Class: c, Ranks: ranks})
+		if err != nil {
+			return nil, err
+		}
+		res, err := inst.Run(p.Base)
+		if err != nil {
+			return nil, fmt.Errorf("core: base profile at %d ranks: %w", ranks, err)
+		}
+		app.Profiles[ranks] = res.Profile
+
+		cp, err := p.measureCounters(inst, ranks)
+		if err != nil {
+			return nil, err
+		}
+		app.Counters[ranks] = cp
+	}
+	return app, nil
+}
+
+// measureCounters collects the ST and SMT hardware-counter observations of
+// the application's per-rank compute kernel at one core count.
+func (p *Pipeline) measureCounters(inst *nas.Instance, ranks int) (*CounterPair, error) {
+	sig := inst.MeanRankSignature()
+	active := p.Base.CoresPerNode
+	if ranks < active {
+		active = ranks
+	}
+	key := fmt.Sprintf("app-ci=%d", ranks)
+	st, err := hpm.Run(sig, hpm.Config{
+		Machine: p.Base, Mode: hpm.ST,
+		ActiveTasksPerNode: active,
+		MeasureNoise:       true, NoiseKey: key + "|st",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: counters at %d ranks: %w", ranks, err)
+	}
+	smtCfg := hpm.Config{
+		Machine: p.Base, Mode: hpm.SMT,
+		ActiveTasksPerNode: active * p.Base.Proc.SMTWays,
+		MeasureNoise:       true, NoiseKey: key + "|smt",
+	}
+	if p.Base.Proc.SMTWays <= 1 {
+		smtCfg.Mode = hpm.ST
+		smtCfg.ActiveTasksPerNode = active
+	}
+	smt, err := hpm.Run(sig, smtCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: SMT counters at %d ranks: %w", ranks, err)
+	}
+	return &CounterPair{Ranks: ranks, ST: st, SMT: smt}, nil
+}
+
+// nearestCount returns the profiled core count closest to ck (ties toward
+// the smaller), preferring an exact match.
+func (a *AppModel) nearestCount(ck int) int {
+	best := a.Counts[0]
+	for _, c := range a.Counts {
+		if abs(c-ck) < abs(best-ck) {
+			best = c
+		}
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// computeTimes returns (counts, per-rank mean compute seconds) pairs from
+// the base profiles — the CCSM input.
+func (a *AppModel) computeTimes() (xs, ys []float64) {
+	for _, c := range a.Counts {
+		xs = append(xs, float64(c))
+		ys = append(ys, a.Profiles[c].MeanCompute())
+	}
+	return
+}
+
+// baseComputeAt is the profiled per-rank mean compute time at a core count.
+func (a *AppModel) baseComputeAt(c int) units.Seconds {
+	return a.Profiles[c].MeanCompute()
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+	"repro/internal/nas"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Projection is the full SWAPP output (§3.3): the application's projected
+// performance on the target machine at core count Ck, decomposed the way
+// the paper's figures report it.
+type Projection struct {
+	App    string
+	Target string
+	Ck     int
+
+	// Compute component (Eq. 7): per-task compute time, γ-scaled.
+	Compute *ComputeProjection
+	Gamma   float64
+	// ComputeTime = Compute.TargetTime × Gamma.
+	ComputeTime units.Seconds
+
+	// Communication component (Eq. 6).
+	Comm     *CommProjection
+	CommTime units.Seconds
+
+	// ACSM diagnostics.
+	ACSM        *ACSM
+	HyperScaled bool
+
+	// Total is the combined projection (§3.3 step 3).
+	Total units.Seconds
+}
+
+// Project produces the full application projection at core count ck. When
+// ck is one of the profiled counts, the characterisation at ck is used
+// directly (γ = 1); otherwise the CCSM scales compute from the nearest
+// profiled count, the ACSM flags cache-footprint transitions in between,
+// and the communication component is extrapolated across the profiled
+// counts' projections (the MPI scaling model).
+func (p *Pipeline) Project(app *AppModel, ck int) (*Projection, error) {
+	ci := app.nearestCount(ck)
+
+	comp, err := p.ProjectCompute(app, ci)
+	if err != nil {
+		return nil, err
+	}
+	ccsm, err := FitCCSM(app)
+	if err != nil {
+		return nil, err
+	}
+	acsm := FitACSM(app)
+
+	gamma := ccsm.Gamma(ci, ck)
+	proj := &Projection{
+		App:         app.Name(),
+		Target:      p.Target.Name,
+		Ck:          ck,
+		Compute:     comp,
+		Gamma:       gamma,
+		ComputeTime: comp.TargetTime * gamma,
+		ACSM:        acsm,
+		HyperScaled: acsm.HyperScalesBetween(ci, ck),
+	}
+
+	if _, profiled := app.Profiles[ck]; profiled {
+		comm, err := p.ProjectComm(app, ck, comp.SpeedupRatio())
+		if err != nil {
+			return nil, err
+		}
+		proj.Comm = comm
+		proj.CommTime = comm.TargetTotal()
+	} else {
+		// MPI communication scaling model: project at every profiled
+		// count and fit the per-task total against core count.
+		var xs, ys []float64
+		var last *CommProjection
+		for _, c := range app.Counts {
+			comm, err := p.ProjectComm(app, c, comp.SpeedupRatio())
+			if err != nil {
+				return nil, err
+			}
+			total := comm.TargetTotal()
+			if total > 0 {
+				xs = append(xs, float64(c))
+				ys = append(ys, total)
+			}
+			last = comm
+		}
+		proj.Comm = last
+		if len(xs) >= 2 {
+			k, pw, err := stats.PowerFit(xs, ys)
+			if err == nil {
+				proj.CommTime = k * math.Pow(float64(ck), pw)
+			} else {
+				proj.CommTime = last.TargetTotal()
+			}
+		} else if last != nil {
+			proj.CommTime = last.TargetTotal()
+		}
+	}
+
+	proj.Total = proj.ComputeTime + proj.CommTime
+	return proj, nil
+}
+
+// Validation compares a projection against the measured run on the target
+// machine — the §4 experiment. Signed percent errors: positive means the
+// projection was above the measurement (the paper reports 54 % of
+// projections above actual).
+type Validation struct {
+	Proj *Projection
+
+	MeasuredTotal   units.Seconds
+	MeasuredCompute units.Seconds
+	MeasuredComm    units.Seconds
+	MeasuredByClass map[mpi.Class]units.Seconds
+
+	// Signed percent errors.
+	ErrCombined float64
+	ErrCompute  float64
+	ErrComm     float64
+	ErrByClass  map[mpi.Class]float64
+}
+
+// AbsErrCombined is the |%| error of the combined projection — the
+// headline quantity of Figures 3–9.
+func (v *Validation) AbsErrCombined() float64 { return math.Abs(v.ErrCombined) }
+
+// pctErr is the signed percent error of projected vs measured.
+func pctErr(projected, measured units.Seconds) float64 {
+	if measured == 0 {
+		if projected == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (projected - measured) / measured
+}
+
+// Validate projects the application at ck and runs it for real on the
+// target machine (the step SWAPP's users cannot do — this is the
+// reproduction's ground truth), returning both sides with errors.
+func (p *Pipeline) Validate(app *AppModel, ck int) (*Validation, error) {
+	proj, err := p.Project(app, ck)
+	if err != nil {
+		return nil, err
+	}
+	res, err := nas.Run(nas.Config{Bench: app.Bench, Class: app.Class, Ranks: ck}, p.Target)
+	if err != nil {
+		return nil, fmt.Errorf("core: measured run on %s: %w", p.Target.Name, err)
+	}
+	mp := res.Profile
+	ranks := units.Seconds(mp.Ranks())
+
+	v := &Validation{
+		Proj:            proj,
+		MeasuredTotal:   res.Makespan,
+		MeasuredCompute: mp.MeanCompute(),
+		MeasuredComm:    mp.MeanComm(),
+		MeasuredByClass: map[mpi.Class]units.Seconds{},
+		ErrByClass:      map[mpi.Class]float64{},
+	}
+	for cls, el := range mp.ClassElapsed() {
+		v.MeasuredByClass[cls] = el / ranks
+	}
+	v.ErrCombined = pctErr(proj.Total, v.MeasuredTotal)
+	v.ErrCompute = pctErr(proj.ComputeTime, v.MeasuredCompute)
+	v.ErrComm = pctErr(proj.CommTime, v.MeasuredComm)
+	projByClass := proj.Comm.TargetByClass()
+	for _, cls := range []mpi.Class{mpi.ClassP2PNB, mpi.ClassP2PB, mpi.ClassCollective} {
+		meas, okM := v.MeasuredByClass[cls]
+		projT, okP := projByClass[cls]
+		if !okM && !okP {
+			continue
+		}
+		v.ErrByClass[cls] = pctErr(projT, meas)
+	}
+	return v, nil
+}

@@ -1,0 +1,266 @@
+// Package des is a process-oriented discrete-event simulation kernel: the
+// substrate under the MPI simulator. Each simulated process (an MPI rank)
+// is a goroutine that advances a shared virtual clock by blocking on the
+// kernel; the kernel runs exactly one goroutine at a time and orders all
+// wakeups by (virtual time, sequence), so simulations are fully
+// deterministic regardless of Go's scheduler.
+//
+// The programming model is the classic coroutine style: a process calls
+// Advance to burn virtual time (compute), and WaitSignal to block until
+// another process or a scheduled event fires a Signal (communication). The
+// kernel detects global deadlock — an empty event queue with processes
+// still blocked — and reports who was stuck.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  units.Seconds
+	seq uint64 // tie-break: FIFO within equal timestamps
+	fn  func()
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Kernel owns the virtual clock, the event queue and the processes.
+type Kernel struct {
+	now    units.Seconds
+	seq    uint64
+	events eventQueue
+	procs  []*Proc
+	live   int
+	failed error
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() units.Seconds { return k.now }
+
+// Schedule runs fn in kernel context at now+delay. Negative delays are
+// clamped to zero. fn must not block; it may fire signals and schedule
+// further events.
+func (k *Kernel) Schedule(delay units.Seconds, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// Proc is the handle a simulated process uses to interact with the kernel.
+type Proc struct {
+	k      *Kernel
+	id     int
+	name   string
+	state  procState
+	resume chan bool // true = run, false = abort
+	yield  chan struct{}
+	waitOn string // what the process is blocked on, for deadlock reports
+}
+
+// ID returns the process index in spawn order.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process's spawn name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() units.Seconds { return p.k.now }
+
+// Kernel returns the owning kernel (for scheduling timed events).
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// errAborted is the panic payload used to unwind abandoned processes.
+type errAborted struct{}
+
+// block parks the process until the kernel resumes it.
+func (p *Proc) block(reason string) {
+	p.state = stateBlocked
+	p.waitOn = reason
+	p.yield <- struct{}{}
+	if run := <-p.resume; !run {
+		panic(errAborted{})
+	}
+	p.state = stateRunning
+	p.waitOn = ""
+}
+
+// Advance burns dt of virtual time as local work (compute). Negative dt is
+// clamped to zero; a zero advance still yields, giving same-time events a
+// chance to run in deterministic order.
+func (p *Proc) Advance(dt units.Seconds) {
+	if dt < 0 {
+		dt = 0
+	}
+	self := p
+	p.k.Schedule(dt, func() { self.k.wake(self) })
+	p.block(fmt.Sprintf("advance(%s)", units.FormatSeconds(dt)))
+}
+
+// WaitSignal blocks until s fires. If s already fired it returns
+// immediately without yielding.
+func (p *Proc) WaitSignal(s *Signal) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.block("signal:" + s.name)
+}
+
+// wake marks p runnable and transfers control to it until it blocks again.
+// Must be called from kernel context.
+func (k *Kernel) wake(p *Proc) {
+	if p.state == stateDone {
+		return
+	}
+	p.resume <- true
+	<-p.yield
+}
+
+// Signal is a one-shot broadcast: processes wait on it, someone fires it.
+// Once fired it stays fired.
+type Signal struct {
+	k       *Kernel
+	name    string
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal creates a named, unfired signal owned by the kernel.
+func (k *Kernel) NewSignal(name string) *Signal {
+	return &Signal{k: k, name: name}
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire marks the signal fired and schedules every waiter to resume at the
+// current virtual time (in wait order). Firing twice is a no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, w := range s.waiters {
+		w := w
+		s.k.Schedule(0, func() { s.k.wake(w) })
+	}
+	s.waiters = nil
+}
+
+// Spawn registers a process to start at virtual time zero. It must be
+// called before Run.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     len(k.procs),
+		name:   name,
+		state:  stateReady,
+		resume: make(chan bool),
+		yield:  make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(errAborted); !ok {
+					// A real bug in simulation code: surface it.
+					k.failed = fmt.Errorf("des: process %s panicked: %v", p.name, r)
+				}
+			}
+			p.state = stateDone
+			k.live--
+			// Final handshake: whoever resumed us (wake or
+			// abandonBlocked) is waiting on this yield.
+			p.yield <- struct{}{}
+		}()
+		if run := <-p.resume; !run {
+			panic(errAborted{})
+		}
+		p.state = stateRunning
+		fn(p)
+	}()
+	// First resume event at t=0, in spawn order.
+	k.Schedule(0, func() { k.wake(p) })
+	return p
+}
+
+// Run drives the simulation until every process finishes. It returns an
+// error on deadlock (blocked processes with an empty event queue) or if a
+// process panicked.
+func (k *Kernel) Run() error {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*event)
+		if e.at < k.now {
+			return fmt.Errorf("des: time went backwards: %v < %v", e.at, k.now)
+		}
+		k.now = e.at
+		e.fn()
+		if k.failed != nil {
+			k.abandonBlocked()
+			return k.failed
+		}
+	}
+	if k.live > 0 {
+		stuck := k.blockedReport()
+		k.abandonBlocked()
+		return fmt.Errorf("des: deadlock at t=%s with %d blocked processes:\n%s",
+			units.FormatSeconds(k.now), k.live, stuck)
+	}
+	return nil
+}
+
+// blockedReport lists still-blocked processes and what they wait on.
+func (k *Kernel) blockedReport() string {
+	var lines []string
+	for _, p := range k.procs {
+		if p.state == stateBlocked || p.state == stateReady {
+			lines = append(lines, fmt.Sprintf("  %s: waiting on %s", p.name, p.waitOn))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// abandonBlocked unwinds every parked goroutine so Run leaks nothing.
+func (k *Kernel) abandonBlocked() {
+	for _, p := range k.procs {
+		if p.state == stateBlocked || p.state == stateReady {
+			p.resume <- false // triggers errAborted panic in the process
+			<-p.yield
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleProcessAdvance(t *testing.T) {
+	k := NewKernel()
+	var end float64
+	k.Spawn("p", func(p *Proc) {
+		p.Advance(1.5)
+		p.Advance(2.5)
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 4.0 {
+		t.Errorf("end time = %v, want 4", end)
+	}
+	if k.Now() != 4.0 {
+		t.Errorf("kernel time = %v, want 4", k.Now())
+	}
+}
+
+func TestNegativeAdvanceClamps(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		p.Advance(-5)
+		if p.Now() != 0 {
+			t.Errorf("negative advance moved time to %v", p.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoProcessesInterleaveDeterministically(t *testing.T) {
+	trace := func() string {
+		k := NewKernel()
+		var sb strings.Builder
+		for i := 0; i < 3; i++ {
+			name := fmt.Sprintf("p%d", i)
+			step := float64(i + 1)
+			k.Spawn(name, func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Advance(step)
+					fmt.Fprintf(&sb, "%s@%v ", p.Name(), p.Now())
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := trace()
+	for i := 0; i < 10; i++ {
+		if got := trace(); got != first {
+			t.Fatalf("nondeterministic interleaving:\n%s\nvs\n%s", first, got)
+		}
+	}
+	// Spot-check ordering: at t=2 p1's event was scheduled (at t=0)
+	// before p0's second (at t=1), so FIFO tie-break runs p1 first.
+	if !strings.HasPrefix(first, "p0@1 p1@2 p0@2 ") {
+		t.Errorf("unexpected order: %s", first)
+	}
+}
+
+func TestSignalWakesWaiter(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSignal("data")
+	var woke float64
+	k.Spawn("consumer", func(p *Proc) {
+		p.WaitSignal(s)
+		woke = p.Now()
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Advance(3)
+		s.Fire()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 3 {
+		t.Errorf("consumer woke at %v, want 3", woke)
+	}
+}
+
+func TestWaitOnFiredSignalReturnsImmediately(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSignal("done")
+	k.Spawn("p", func(p *Proc) {
+		s.Fire()
+		before := p.Now()
+		p.WaitSignal(s)
+		if p.Now() != before {
+			t.Error("waiting on a fired signal must not advance time")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSignal("go")
+	var woken int32
+	for i := 0; i < 5; i++ {
+		k.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.WaitSignal(s)
+			atomic.AddInt32(&woken, 1)
+		})
+	}
+	k.Spawn("firer", func(p *Proc) {
+		p.Advance(1)
+		s.Fire()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 5 {
+		t.Errorf("woken = %d, want 5", woken)
+	}
+}
+
+func TestDoubleFireIsNoop(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSignal("s")
+	k.Spawn("p", func(p *Proc) {
+		s.Fire()
+		s.Fire()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Fired() {
+		t.Error("signal must report fired")
+	}
+}
+
+func TestScheduledEventFiresSignal(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSignal("timer")
+	var woke float64
+	k.Spawn("p", func(p *Proc) {
+		p.Kernel().Schedule(2.5, func() { s.Fire() })
+		p.WaitSignal(s)
+		woke = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 2.5 {
+		t.Errorf("woke at %v, want 2.5", woke)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSignal("never")
+	k.Spawn("stuck", func(p *Proc) {
+		p.WaitSignal(s)
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("deadlock must be reported")
+	}
+	if !strings.Contains(err.Error(), "stuck") || !strings.Contains(err.Error(), "never") {
+		t.Errorf("deadlock report should name the process and its wait: %v", err)
+	}
+}
+
+func TestPanicInProcessSurfaces(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("bad", func(p *Proc) {
+		p.Advance(1)
+		panic("boom")
+	})
+	k.Spawn("bystander", func(p *Proc) {
+		p.WaitSignal(p.Kernel().NewSignal("forever"))
+	})
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("process panic must surface, got %v", err)
+	}
+}
+
+func TestManyProcessesManyEvents(t *testing.T) {
+	k := NewKernel()
+	const n = 200
+	var total float64
+	for i := 0; i < n; i++ {
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j := 0; j < 50; j++ {
+				p.Advance(0.001)
+			}
+			total += p.Now()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-n*0.05) > 1e-9 {
+		t.Errorf("total = %v, want %v", total, n*0.05)
+	}
+}
+
+func TestPingPongViaSignals(t *testing.T) {
+	// Two processes alternating: a classic token pass with timing.
+	k := NewKernel()
+	const rounds = 10
+	toB := make([]*Signal, rounds)
+	toA := make([]*Signal, rounds)
+	for i := range toB {
+		toB[i] = k.NewSignal(fmt.Sprintf("toB%d", i))
+		toA[i] = k.NewSignal(fmt.Sprintf("toA%d", i))
+	}
+	var endA, endB float64
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			p.Advance(0.5)
+			toB[i].Fire()
+			p.WaitSignal(toA[i])
+		}
+		endA = p.Now()
+	})
+	k.Spawn("b", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			p.WaitSignal(toB[i])
+			p.Advance(0.5)
+			toA[i].Fire()
+		}
+		endB = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if endA != rounds || endB != rounds {
+		t.Errorf("ends = %v, %v; want %v", endA, endB, float64(rounds))
+	}
+}
+
+// Property: the kernel clock equals the max of all process end times, for
+// arbitrary per-process step counts.
+func TestClockIsMaxOfProcesses(t *testing.T) {
+	f := func(steps []uint8) bool {
+		if len(steps) == 0 || len(steps) > 20 {
+			return true
+		}
+		k := NewKernel()
+		var max float64
+		for i, s := range steps {
+			n := int(s%20) + 1
+			k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < n; j++ {
+					p.Advance(0.25)
+				}
+			})
+			if end := 0.25 * float64(n); end > max {
+				max = end
+			}
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return math.Abs(k.Now()-max) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunWithNoProcesses(t *testing.T) {
+	k := NewKernel()
+	if err := k.Run(); err != nil {
+		t.Fatalf("empty kernel must run cleanly: %v", err)
+	}
+	if k.Now() != 0 {
+		t.Error("empty run must stay at t=0")
+	}
+}
+
+func TestZeroAdvanceYieldsButKeepsTime(t *testing.T) {
+	k := NewKernel()
+	order := ""
+	k.Spawn("a", func(p *Proc) {
+		p.Advance(0)
+		order += "a"
+	})
+	k.Spawn("b", func(p *Proc) {
+		order += "b"
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// a yields on its zero advance, letting b (spawned later but not
+	// yielding) run its body first.
+	if order != "ba" {
+		t.Errorf("order = %q, want ba", order)
+	}
+	if k.Now() != 0 {
+		t.Error("zero advances must not move the clock")
+	}
+}

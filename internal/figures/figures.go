@@ -1,0 +1,388 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (§4): Table 1 (benchmark communication characteristics on the
+// base machine), Table 2 (system configurations), Figures 3–9 (percent
+// projection error per component, per benchmark, per target system) and
+// the summary statistics (per-system average error and standard deviation,
+// share of over-projections).
+//
+// A Runner caches the expensive artifacts — benchmark pipelines per
+// machine pair, application characterisations, and validations — so that
+// one process can assemble all figures without repeating work.
+package figures
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/nas"
+	"repro/internal/stats"
+)
+
+// Targets lists the three projection targets in the paper's order.
+func Targets() []string {
+	return []string{arch.BlueGene, arch.Power6, arch.Westmere}
+}
+
+// Cell is one bar group of a figure: the absolute percent error of each
+// projected component at one (core count, class).
+type Cell struct {
+	Ck    int
+	Class nas.Class
+
+	// Component |errors| in percent, matching the paper's legend.
+	P2PNB       float64 // non-blocking point-to-point
+	P2PB        float64 // blocking point-to-point (absent in NAS-MZ: 0)
+	Collectives float64
+	OverallComm float64
+	Computation float64
+	Combined    float64
+
+	// Signed combined error, for the over-projection statistic.
+	CombinedSigned float64
+}
+
+// Figure is one of the paper's Figures 3–9: a benchmark on a target
+// system across core counts and classes.
+type Figure struct {
+	ID     string
+	Title  string
+	Bench  nas.Benchmark
+	Target string
+	Cells  []Cell
+}
+
+// MeanCombined is the figure's average |combined error|.
+func (f *Figure) MeanCombined() float64 {
+	var xs []float64
+	for _, c := range f.Cells {
+		xs = append(xs, c.Combined)
+	}
+	return stats.Mean(xs)
+}
+
+// figureIDs maps (benchmark, target) to the paper's figure numbering.
+// LU-MZ shares Figure 6 across all three systems.
+var figureIDs = map[nas.Benchmark]map[string]string{
+	nas.BT: {arch.BlueGene: "fig3", arch.Power6: "fig4", arch.Westmere: "fig5"},
+	nas.LU: {arch.BlueGene: "fig6", arch.Power6: "fig6", arch.Westmere: "fig6"},
+	nas.SP: {arch.BlueGene: "fig7", arch.Power6: "fig8", arch.Westmere: "fig9"},
+}
+
+// FigureID returns the paper's figure id for a (benchmark, target) pair.
+func FigureID(b nas.Benchmark, target string) string { return figureIDs[b][target] }
+
+// Runner executes and caches the full evaluation.
+type Runner struct {
+	Base string
+	// Verbose, if set, receives progress lines.
+	Verbose func(format string, args ...any)
+
+	pipelines   map[string]*core.Pipeline
+	apps        map[string]*core.AppModel
+	validations map[string]*core.Validation
+}
+
+// NewRunner creates a Runner projecting from the paper's base machine.
+func NewRunner() *Runner {
+	return &Runner{
+		Base:        arch.Hydra,
+		pipelines:   map[string]*core.Pipeline{},
+		apps:        map[string]*core.AppModel{},
+		validations: map[string]*core.Validation{},
+	}
+}
+
+// logf emits progress if verbose.
+func (r *Runner) logf(format string, args ...any) {
+	if r.Verbose != nil {
+		r.Verbose(format, args...)
+	}
+}
+
+// pipeline returns (building on first use) the benchmark pipeline for a
+// target.
+func (r *Runner) pipeline(target string) (*core.Pipeline, error) {
+	if p, ok := r.pipelines[target]; ok {
+		return p, nil
+	}
+	base, err := arch.Get(r.Base)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := arch.Get(target)
+	if err != nil {
+		return nil, err
+	}
+	r.logf("gathering benchmark data for %s → %s (SPEC + IMB)", r.Base, target)
+	// IMB tables at every core count any app profile uses.
+	counts := map[int]bool{}
+	for _, b := range nas.Benchmarks() {
+		for _, c := range charCounts(b) {
+			counts[c] = true
+		}
+	}
+	var list []int
+	for c := range counts {
+		list = append(list, c)
+	}
+	sort.Ints(list)
+	p, err := core.NewPipeline(base, tgt, list)
+	if err != nil {
+		return nil, err
+	}
+	r.pipelines[target] = p
+	return p, nil
+}
+
+// charCounts returns the base-machine core counts an app is characterised
+// at: the paper's sweep, extended downward for LU-MZ so that the scaling
+// models have enough points.
+func charCounts(b nas.Benchmark) []int {
+	if b == nas.LU {
+		return []int{4, 8, 16}
+	}
+	return nas.PaperRankCounts(b)
+}
+
+// app returns (characterising on first use) the AppModel for a benchmark
+// and class against a target's pipeline.
+func (r *Runner) app(target string, b nas.Benchmark, c nas.Class) (*core.AppModel, error) {
+	key := fmt.Sprintf("%s|%s|%c", target, b, c)
+	if a, ok := r.apps[key]; ok {
+		return a, nil
+	}
+	p, err := r.pipeline(target)
+	if err != nil {
+		return nil, err
+	}
+	r.logf("characterising %s.%c on %s", b, c, r.Base)
+	a, err := p.CharacterizeApp(b, c, charCounts(b))
+	if err != nil {
+		return nil, err
+	}
+	r.apps[key] = a
+	return a, nil
+}
+
+// Validate returns (computing on first use) the validation of one
+// experiment cell.
+func (r *Runner) Validate(target string, b nas.Benchmark, c nas.Class, ck int) (*core.Validation, error) {
+	key := fmt.Sprintf("%s|%s|%c|%d", target, b, c, ck)
+	if v, ok := r.validations[key]; ok {
+		return v, nil
+	}
+	p, err := r.pipeline(target)
+	if err != nil {
+		return nil, err
+	}
+	a, err := r.app(target, b, c)
+	if err != nil {
+		return nil, err
+	}
+	r.logf("projecting %s.%c@%d onto %s and validating", b, c, ck, target)
+	v, err := p.Validate(a, ck)
+	if err != nil {
+		return nil, err
+	}
+	r.validations[key] = v
+	return v, nil
+}
+
+// abs returns |x|.
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// cell converts a validation into a figure cell.
+func cell(v *core.Validation, ck int, class nas.Class) Cell {
+	return Cell{
+		Ck:             ck,
+		Class:          class,
+		P2PNB:          abs(v.ErrByClass[mpi.ClassP2PNB]),
+		P2PB:           abs(v.ErrByClass[mpi.ClassP2PB]),
+		Collectives:    abs(v.ErrByClass[mpi.ClassCollective]),
+		OverallComm:    abs(v.ErrComm),
+		Computation:    abs(v.ErrCompute),
+		Combined:       abs(v.ErrCombined),
+		CombinedSigned: v.ErrCombined,
+	}
+}
+
+// BenchFigure regenerates the figure for a benchmark on one target:
+// Figures 3–5 (BT), 7–9 (SP), or one system's bars of Figure 6 (LU).
+func (r *Runner) BenchFigure(b nas.Benchmark, target string) (*Figure, error) {
+	tgt, err := arch.Get(target)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:     FigureID(b, target),
+		Title:  fmt.Sprintf("%s Results on %s", b, tgt.FullName),
+		Bench:  b,
+		Target: target,
+	}
+	for _, ck := range nas.PaperRankCounts(b) {
+		for _, class := range nas.Classes() {
+			v, err := r.Validate(target, b, class, ck)
+			if err != nil {
+				return nil, err
+			}
+			f.Cells = append(f.Cells, cell(v, ck, class))
+		}
+	}
+	return f, nil
+}
+
+// LUFigure regenerates Figure 6: LU-MZ across all three systems.
+func (r *Runner) LUFigure() (*Figure, error) {
+	f := &Figure{ID: "fig6", Title: "LU Results on the three systems", Bench: nas.LU}
+	for _, target := range Targets() {
+		for _, class := range nas.Classes() {
+			v, err := r.Validate(target, nas.LU, class, 16)
+			if err != nil {
+				return nil, err
+			}
+			c := cell(v, 16, class)
+			f.Cells = append(f.Cells, c)
+		}
+	}
+	return f, nil
+}
+
+// AllFigures regenerates Figures 3–9 in paper order.
+func (r *Runner) AllFigures() ([]*Figure, error) {
+	var out []*Figure
+	for _, target := range Targets() {
+		f, err := r.BenchFigure(nas.BT, target)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	lu, err := r.LUFigure()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, lu)
+	for _, target := range Targets() {
+		f, err := r.BenchFigure(nas.SP, target)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// SystemSummary is one target's row of the paper's summary statistics.
+type SystemSummary struct {
+	Target  string
+	MeanAbs float64 // average |combined error| %
+	StdDev  float64
+	MaxAbs  float64
+	Cells   int
+}
+
+// Summary is the §4 bottom line.
+type Summary struct {
+	PerSystem []SystemSummary
+	// OverallMean is the grand average |combined error|.
+	OverallMean float64
+	// OverProjectedPct is the share of projections above the measured
+	// runtime (the paper reports 54 %).
+	OverProjectedPct float64
+}
+
+// Summarize computes the paper's summary statistics over every experiment
+// cell (all benchmarks, classes, core counts, targets).
+func (r *Runner) Summarize() (*Summary, error) {
+	s := &Summary{}
+	var all []float64
+	var over, total int
+	for _, target := range Targets() {
+		var errs []float64
+		for _, b := range nas.Benchmarks() {
+			for _, class := range nas.Classes() {
+				for _, ck := range nas.PaperRankCounts(b) {
+					v, err := r.Validate(target, b, class, ck)
+					if err != nil {
+						return nil, err
+					}
+					errs = append(errs, abs(v.ErrCombined))
+					all = append(all, abs(v.ErrCombined))
+					total++
+					if v.ErrCombined > 0 {
+						over++
+					}
+				}
+			}
+		}
+		s.PerSystem = append(s.PerSystem, SystemSummary{
+			Target:  target,
+			MeanAbs: stats.Mean(errs),
+			StdDev:  stats.StdDev(errs),
+			MaxAbs:  stats.Max(errs),
+			Cells:   len(errs),
+		})
+	}
+	s.OverallMean = stats.Mean(all)
+	s.OverProjectedPct = 100 * float64(over) / float64(total)
+	return s, nil
+}
+
+// Table1Row is one row of the paper's Table 1: a benchmark's communication
+// character on the base system between the smallest and largest task
+// counts.
+type Table1Row struct {
+	Bench nas.Benchmark
+	Class nas.Class
+
+	// Percent of execution time, at the min and max task counts.
+	CommMin, CommMax       float64
+	MultiSRMin, MultiSRMax float64 // multi-Sendrecv (P2P-NB) share
+	ReduceMin, ReduceMax   float64
+	BcastMin, BcastMax     float64
+}
+
+// Table1 regenerates the paper's Table 1 on the base machine.
+func (r *Runner) Table1() ([]Table1Row, error) {
+	base, err := arch.Get(r.Base)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	for _, b := range nas.Benchmarks() {
+		for _, class := range nas.Classes() {
+			counts := nas.PaperRankCounts(b)
+			lo, hi := counts[0], counts[len(counts)-1]
+			r.logf("Table 1: profiling %s.%c at %d and %d tasks", b, class, lo, hi)
+			row := Table1Row{Bench: b, Class: class}
+			for i, ranks := range []int{lo, hi} {
+				res, err := nas.Run(nas.Config{Bench: b, Class: class, Ranks: ranks}, base)
+				if err != nil {
+					return nil, err
+				}
+				pf := res.Profile
+				comm := 100 * pf.CommFraction()
+				msr := pf.RoutineShare(mpi.RoutineIsend) +
+					pf.RoutineShare(mpi.RoutineIrecv) +
+					pf.RoutineShare(mpi.RoutineWaitall)
+				red := pf.RoutineShare(mpi.RoutineReduce)
+				bc := pf.RoutineShare(mpi.RoutineBcast)
+				if i == 0 {
+					row.CommMin, row.MultiSRMin, row.ReduceMin, row.BcastMin = comm, msr, red, bc
+				} else {
+					row.CommMax, row.MultiSRMax, row.ReduceMax, row.BcastMax = comm, msr, red, bc
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,122 @@
+package figures
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/nas"
+)
+
+// A single shared runner: each figure piece is expensive.
+var (
+	tOnce   sync.Once
+	tRunner *Runner
+)
+
+func runner() *Runner {
+	tOnce.Do(func() { tRunner = NewRunner() })
+	return tRunner
+}
+
+func TestFigureIDMapping(t *testing.T) {
+	cases := []struct {
+		b      nas.Benchmark
+		target string
+		want   string
+	}{
+		{nas.BT, arch.BlueGene, "fig3"},
+		{nas.BT, arch.Power6, "fig4"},
+		{nas.BT, arch.Westmere, "fig5"},
+		{nas.LU, arch.Power6, "fig6"},
+		{nas.SP, arch.BlueGene, "fig7"},
+		{nas.SP, arch.Power6, "fig8"},
+		{nas.SP, arch.Westmere, "fig9"},
+	}
+	for _, c := range cases {
+		if got := FigureID(c.b, c.target); got != c.want {
+			t.Errorf("FigureID(%s,%s) = %s, want %s", c.b, c.target, got, c.want)
+		}
+	}
+}
+
+func TestTargetsOrder(t *testing.T) {
+	want := []string{arch.BlueGene, arch.Power6, arch.Westmere}
+	got := Targets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Targets() = %v", got)
+		}
+	}
+}
+
+func TestLUFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive in -short mode")
+	}
+	f, err := runner().LUFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "fig6" || f.Bench != nas.LU {
+		t.Errorf("figure labels wrong: %+v", f)
+	}
+	// Three systems × two classes.
+	if len(f.Cells) != 6 {
+		t.Fatalf("LU figure has %d cells, want 6", len(f.Cells))
+	}
+	for _, c := range f.Cells {
+		if c.Ck != 16 {
+			t.Errorf("LU runs at 16 ranks, cell says %d", c.Ck)
+		}
+		if c.P2PB != 0 {
+			t.Errorf("NAS-MZ has no blocking p2p, got %v", c.P2PB)
+		}
+		if c.Combined < 0 || c.Computation < 0 {
+			t.Error("errors are absolute values")
+		}
+	}
+	if f.MeanCombined() > 30 {
+		t.Errorf("LU mean error %.1f%% outside the paper's regime", f.MeanCombined())
+	}
+}
+
+func TestValidateCachesResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive in -short mode")
+	}
+	r := runner()
+	a, err := r.Validate(arch.Power6, nas.LU, nas.ClassC, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Validate(arch.Power6, nas.LU, nas.ClassC, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated validations must hit the cache (same pointer)")
+	}
+}
+
+func TestVerboseHook(t *testing.T) {
+	r := NewRunner()
+	var lines []string
+	r.Verbose = func(format string, args ...any) {
+		lines = append(lines, format)
+	}
+	r.logf("hello %s", "world")
+	if len(lines) != 1 || !strings.Contains(lines[0], "hello") {
+		t.Error("verbose hook not invoked")
+	}
+}
+
+func TestCharCounts(t *testing.T) {
+	if got := charCounts(nas.LU); len(got) != 3 || got[2] != 16 {
+		t.Errorf("LU char counts = %v", got)
+	}
+	if got := charCounts(nas.BT); len(got) != 4 || got[3] != 128 {
+		t.Errorf("BT char counts = %v", got)
+	}
+}

@@ -1,0 +1,262 @@
+// Package ga is the genetic algorithm behind SWAPP's surrogate selection
+// (§2.3 step 5, citing Holland's classic GA): it searches for the "best"
+// group of benchmarks and their coefficients, encoded as a sparse
+// non-negative weight vector over the benchmark pool.
+//
+// The implementation is a plain generational GA — tournament selection,
+// blend crossover, Gaussian mutation with activate/deactivate moves for
+// sparsity control, and elitism — fully deterministic under a string seed.
+package ga
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Config parameterises a run. Fitness is minimised.
+type Config struct {
+	// GenomeLen is the number of genes (benchmark pool size).
+	GenomeLen int
+	// MaxActive caps the number of nonzero genes (surrogate sparsity);
+	// 0 means unlimited.
+	MaxActive int
+	// PopSize is the population size (default 64).
+	PopSize int
+	// Generations to evolve (default 120).
+	Generations int
+	// Elites survive unchanged each generation (default 2).
+	Elites int
+	// TournamentK is the selection tournament size (default 3).
+	TournamentK int
+	// CrossoverRate is the probability of blending two parents
+	// (default 0.9).
+	CrossoverRate float64
+	// MutationRate is the per-gene perturbation probability
+	// (default 0.15).
+	MutationRate float64
+	// Seed makes the run reproducible; required.
+	Seed string
+	// Fitness scores a genome; lower is better. Genomes are always
+	// non-negative. Required.
+	Fitness func(genome []float64) float64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.GenomeLen <= 0 {
+		return c, fmt.Errorf("ga: GenomeLen must be positive")
+	}
+	if c.Fitness == nil {
+		return c, fmt.Errorf("ga: Fitness is required")
+	}
+	if c.Seed == "" {
+		return c, fmt.Errorf("ga: Seed is required for reproducibility")
+	}
+	if c.PopSize == 0 {
+		c.PopSize = 64
+	}
+	if c.Generations == 0 {
+		c.Generations = 120
+	}
+	if c.Elites == 0 {
+		c.Elites = 2
+	}
+	if c.TournamentK == 0 {
+		c.TournamentK = 3
+	}
+	if c.CrossoverRate == 0 {
+		c.CrossoverRate = 0.9
+	}
+	if c.MutationRate == 0 {
+		c.MutationRate = 0.15
+	}
+	if c.PopSize < 4 || c.Elites >= c.PopSize || c.TournamentK < 1 {
+		return c, fmt.Errorf("ga: degenerate population configuration")
+	}
+	return c, nil
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Best is the fittest genome found.
+	Best []float64
+	// BestFitness is its score.
+	BestFitness float64
+	// History records the best score per generation (including the
+	// initial population as entry 0).
+	History []float64
+	// Evaluations counts fitness calls.
+	Evaluations int
+}
+
+// individual pairs a genome with its cached score.
+type individual struct {
+	genome  []float64
+	fitness float64
+}
+
+// Run evolves a population and returns the best genome found.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New("ga|" + cfg.Seed)
+	res := &Result{}
+
+	eval := func(g []float64) float64 {
+		res.Evaluations++
+		return cfg.Fitness(g)
+	}
+
+	// Initial population: sparse random genomes.
+	pop := make([]individual, cfg.PopSize)
+	for i := range pop {
+		g := make([]float64, cfg.GenomeLen)
+		active := cfg.MaxActive
+		if active <= 0 || active > cfg.GenomeLen {
+			active = cfg.GenomeLen
+		}
+		// Activate a random subset with random weights.
+		n := 1 + src.Intn(active)
+		for _, idx := range src.Perm(cfg.GenomeLen)[:n] {
+			g[idx] = src.Float64()
+		}
+		pop[i] = individual{genome: g, fitness: eval(g)}
+	}
+
+	best := bestOf(pop)
+	res.History = append(res.History, best.fitness)
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		next := make([]individual, 0, cfg.PopSize)
+		// Elitism: copy the best unchanged.
+		for _, e := range topK(pop, cfg.Elites) {
+			next = append(next, individual{genome: clone(e.genome), fitness: e.fitness})
+		}
+		for len(next) < cfg.PopSize {
+			a := tournament(pop, cfg.TournamentK, src)
+			b := tournament(pop, cfg.TournamentK, src)
+			child := clone(a.genome)
+			if src.Float64() < cfg.CrossoverRate {
+				blend(child, b.genome, src)
+			}
+			mutate(child, cfg, src)
+			enforceSparsity(child, cfg.MaxActive)
+			next = append(next, individual{genome: child, fitness: eval(child)})
+		}
+		pop = next
+		if b := bestOf(pop); b.fitness < best.fitness {
+			best = individual{genome: clone(b.genome), fitness: b.fitness}
+		}
+		res.History = append(res.History, best.fitness)
+	}
+	res.Best = best.genome
+	res.BestFitness = best.fitness
+	return res, nil
+}
+
+// clone copies a genome.
+func clone(g []float64) []float64 { return append([]float64(nil), g...) }
+
+// bestOf returns the fittest individual.
+func bestOf(pop []individual) individual {
+	best := pop[0]
+	for _, ind := range pop[1:] {
+		if ind.fitness < best.fitness {
+			best = ind
+		}
+	}
+	return best
+}
+
+// topK returns the k fittest individuals (k small; selection sort).
+func topK(pop []individual, k int) []individual {
+	idx := make([]int, len(pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k && i < len(idx); i++ {
+		m := i
+		for j := i + 1; j < len(idx); j++ {
+			if pop[idx[j]].fitness < pop[idx[m]].fitness {
+				m = j
+			}
+		}
+		idx[i], idx[m] = idx[m], idx[i]
+	}
+	out := make([]individual, 0, k)
+	for i := 0; i < k && i < len(idx); i++ {
+		out = append(out, pop[idx[i]])
+	}
+	return out
+}
+
+// tournament picks the best of k random individuals.
+func tournament(pop []individual, k int, src *rng.Source) individual {
+	best := pop[src.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[src.Intn(len(pop))]
+		if c.fitness < best.fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+// blend mixes parent b into child gene-wise with random weights.
+func blend(child, b []float64, src *rng.Source) {
+	for i := range child {
+		if src.Float64() < 0.5 {
+			f := src.Float64()
+			child[i] = child[i]*(1-f) + b[i]*f
+		}
+	}
+}
+
+// mutate perturbs genes: Gaussian scaling of active genes, plus occasional
+// activation of dormant ones and deactivation of active ones.
+func mutate(g []float64, cfg Config, src *rng.Source) {
+	for i := range g {
+		if src.Float64() >= cfg.MutationRate {
+			continue
+		}
+		switch {
+		case g[i] == 0:
+			g[i] = src.Float64() * 0.5 // activate
+		case src.Float64() < 0.2:
+			g[i] = 0 // deactivate
+		default:
+			g[i] *= math.Exp(src.Normal(0, 0.3))
+			if g[i] < 1e-6 {
+				g[i] = 0
+			}
+		}
+	}
+}
+
+// enforceSparsity keeps only the maxActive largest genes.
+func enforceSparsity(g []float64, maxActive int) {
+	if maxActive <= 0 {
+		return
+	}
+	active := 0
+	for _, v := range g {
+		if v > 0 {
+			active++
+		}
+	}
+	for active > maxActive {
+		// Zero the smallest nonzero gene.
+		minIdx := -1
+		for i, v := range g {
+			if v > 0 && (minIdx < 0 || v < g[minIdx]) {
+				minIdx = i
+			}
+		}
+		g[minIdx] = 0
+		active--
+	}
+}

@@ -1,0 +1,285 @@
+// Package mpiprof is the MPI profiling library of the simulation: an
+// mpi.Observer that builds the paper's per-task MPI profile (§2.2):
+//
+//  1. a summary of all MPI routines called, with aggregate timing;
+//  2. the message-size distribution per routine (calls and aggregate time
+//     per size);
+//  3. the compute/communication breakdown of each task's execution time.
+//
+// The paper's profiler cost the application at most 0.05 % of its runtime;
+// this one costs nothing in simulated time (observation is outside the
+// virtual clock) and its host-time overhead is measured by a bench.
+package mpiprof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mpi"
+	"repro/internal/units"
+)
+
+// SizeEntry aggregates calls of one routine at one message size on one
+// task.
+type SizeEntry struct {
+	Bytes    units.Bytes
+	Calls    int
+	Messages int // requests involved (Waitall counts each waited request)
+	Elapsed  units.Seconds
+	// Offsets histograms the ring distance |peer − rank| (wrapped) of the
+	// messages — the communication pattern. A projection combines it with
+	// a target machine's node geometry to split intra-node from
+	// inter-node traffic.
+	Offsets map[int]int
+}
+
+// RoutineProfile aggregates one routine on one task.
+type RoutineProfile struct {
+	Routine mpi.Routine
+	Sizes   map[units.Bytes]*SizeEntry
+	Calls   int
+	Elapsed units.Seconds
+}
+
+// SortedSizes returns the message sizes in ascending order.
+func (rp *RoutineProfile) SortedSizes() []units.Bytes {
+	out := make([]units.Bytes, 0, len(rp.Sizes))
+	for s := range rp.Sizes {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MeanMessagesPerCall is the average number of requests per call — the
+// paper's x in Eq. 1 for Waitall entries (1 for plain routines).
+func (rp *RoutineProfile) MeanMessagesPerCall() float64 {
+	if rp.Calls == 0 {
+		return 0
+	}
+	var msgs int
+	for _, e := range rp.Sizes {
+		msgs += e.Messages
+	}
+	return float64(msgs) / float64(rp.Calls)
+}
+
+// TaskProfile is the full profile of one rank.
+type TaskProfile struct {
+	Rank     int
+	Compute  units.Seconds
+	Comm     units.Seconds
+	Routines map[mpi.Routine]*RoutineProfile
+}
+
+// Total is the task's profiled busy time.
+func (tp *TaskProfile) Total() units.Seconds { return tp.Compute + tp.Comm }
+
+// CommFraction is the share of task time spent in MPI (including waits).
+func (tp *TaskProfile) CommFraction() float64 {
+	if tp.Total() == 0 {
+		return 0
+	}
+	return tp.Comm / tp.Total()
+}
+
+// Profiler is the mpi.Observer that accumulates the job profile.
+type Profiler struct {
+	tasks []*TaskProfile
+}
+
+// New creates a profiler for a job of the given rank count.
+func New(ranks int) *Profiler {
+	p := &Profiler{tasks: make([]*TaskProfile, ranks)}
+	for i := range p.tasks {
+		p.tasks[i] = &TaskProfile{Rank: i, Routines: map[mpi.Routine]*RoutineProfile{}}
+	}
+	return p
+}
+
+// OnCompute implements mpi.Observer.
+func (p *Profiler) OnCompute(rank int, dt units.Seconds) {
+	p.tasks[rank].Compute += dt
+}
+
+// OnRoutine implements mpi.Observer.
+func (p *Profiler) OnRoutine(rank int, ev mpi.RoutineEvent) {
+	tp := p.tasks[rank]
+	tp.Comm += ev.Elapsed
+	rp := tp.Routines[ev.Routine]
+	if rp == nil {
+		rp = &RoutineProfile{Routine: ev.Routine, Sizes: map[units.Bytes]*SizeEntry{}}
+		tp.Routines[ev.Routine] = rp
+	}
+	rp.Calls++
+	rp.Elapsed += ev.Elapsed
+	se := rp.Sizes[ev.Bytes]
+	if se == nil {
+		se = &SizeEntry{Bytes: ev.Bytes}
+		rp.Sizes[ev.Bytes] = se
+	}
+	se.Calls++
+	se.Messages += ev.Count
+	se.Elapsed += ev.Elapsed
+	for _, peer := range ev.Peers {
+		off := peer - rank
+		if off < 0 {
+			off = -off
+		}
+		if wrapped := len(p.tasks) - off; wrapped < off {
+			off = wrapped
+		}
+		if se.Offsets == nil {
+			se.Offsets = map[int]int{}
+		}
+		se.Offsets[off]++
+	}
+}
+
+// Profile freezes the accumulated data into the job-level profile.
+func (p *Profiler) Profile(app, machine string, makespan units.Seconds) *Profile {
+	return &Profile{App: app, Machine: machine, Makespan: makespan, Tasks: p.tasks}
+}
+
+// Profile is the complete job profile: what the paper's projection pipeline
+// consumes from the base machine.
+type Profile struct {
+	App      string
+	Machine  string
+	Makespan units.Seconds
+	Tasks    []*TaskProfile
+}
+
+// Ranks returns the task count.
+func (pf *Profile) Ranks() int { return len(pf.Tasks) }
+
+// MeanCompute is the mean per-task compute time.
+func (pf *Profile) MeanCompute() units.Seconds {
+	var s units.Seconds
+	for _, tp := range pf.Tasks {
+		s += tp.Compute
+	}
+	return s / units.Seconds(len(pf.Tasks))
+}
+
+// MeanComm is the mean per-task communication time.
+func (pf *Profile) MeanComm() units.Seconds {
+	var s units.Seconds
+	for _, tp := range pf.Tasks {
+		s += tp.Comm
+	}
+	return s / units.Seconds(len(pf.Tasks))
+}
+
+// CommFraction is the job-wide share of busy time spent in MPI.
+func (pf *Profile) CommFraction() float64 {
+	var comm, total units.Seconds
+	for _, tp := range pf.Tasks {
+		comm += tp.Comm
+		total += tp.Total()
+	}
+	if total == 0 {
+		return 0
+	}
+	return comm / total
+}
+
+// Routines lists every routine appearing in any task, in deterministic
+// (class, name) order.
+func (pf *Profile) Routines() []mpi.Routine {
+	set := map[mpi.Routine]bool{}
+	for _, tp := range pf.Tasks {
+		for rt := range tp.Routines {
+			set[rt] = true
+		}
+	}
+	out := make([]mpi.Routine, 0, len(set))
+	for rt := range set {
+		out = append(out, rt)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := mpi.ClassOf(out[i]), mpi.ClassOf(out[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// RoutineAggregate sums a routine's profile across all tasks.
+func (pf *Profile) RoutineAggregate(rt mpi.Routine) *RoutineProfile {
+	agg := &RoutineProfile{Routine: rt, Sizes: map[units.Bytes]*SizeEntry{}}
+	for _, tp := range pf.Tasks {
+		rp := tp.Routines[rt]
+		if rp == nil {
+			continue
+		}
+		agg.Calls += rp.Calls
+		agg.Elapsed += rp.Elapsed
+		for b, se := range rp.Sizes {
+			dst := agg.Sizes[b]
+			if dst == nil {
+				dst = &SizeEntry{Bytes: b}
+				agg.Sizes[b] = dst
+			}
+			dst.Calls += se.Calls
+			dst.Messages += se.Messages
+			dst.Elapsed += se.Elapsed
+			for off, n := range se.Offsets {
+				if dst.Offsets == nil {
+					dst.Offsets = map[int]int{}
+				}
+				dst.Offsets[off] += n
+			}
+		}
+	}
+	return agg
+}
+
+// RoutineShare is a routine's share of total busy time, in percent — the
+// quantity Table 1 reports per routine.
+func (pf *Profile) RoutineShare(rt mpi.Routine) float64 {
+	var total units.Seconds
+	for _, tp := range pf.Tasks {
+		total += tp.Total()
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * pf.RoutineAggregate(rt).Elapsed / total
+}
+
+// ClassElapsed sums MPI time per routine class across tasks.
+func (pf *Profile) ClassElapsed() map[mpi.Class]units.Seconds {
+	out := map[mpi.Class]units.Seconds{}
+	for _, tp := range pf.Tasks {
+		for rt, rp := range tp.Routines {
+			out[mpi.ClassOf(rt)] += rp.Elapsed
+		}
+	}
+	return out
+}
+
+// String renders the profile in the three-section layout of §2.2.
+func (pf *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MPI profile: %s on %s, %d tasks, makespan %s\n",
+		pf.App, pf.Machine, pf.Ranks(), units.FormatSeconds(pf.Makespan))
+	fmt.Fprintf(&b, "compute %s (%.1f%%), communication %s (%.1f%%)\n",
+		units.FormatSeconds(pf.MeanCompute()), 100*(1-pf.CommFraction()),
+		units.FormatSeconds(pf.MeanComm()), 100*pf.CommFraction())
+	fmt.Fprintf(&b, "%-14s %-10s %10s %12s %12s\n", "routine", "class", "calls", "elapsed", "share")
+	for _, rt := range pf.Routines() {
+		agg := pf.RoutineAggregate(rt)
+		fmt.Fprintf(&b, "%-14s %-10s %10d %12s %11.3f%%\n",
+			rt, mpi.ClassOf(rt), agg.Calls, units.FormatSeconds(agg.Elapsed), pf.RoutineShare(rt))
+		for _, size := range agg.SortedSizes() {
+			se := agg.Sizes[size]
+			fmt.Fprintf(&b, "    %-12s %8d calls %12s\n",
+				units.FormatBytes(se.Bytes), se.Calls, units.FormatSeconds(se.Elapsed))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package nas
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/hpm"
+	"repro/internal/mpi"
+	"repro/internal/mpiprof"
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// RunResult is one full execution of a benchmark instance on a machine:
+// the MPI profile (what the paper's profiler records) and the makespan
+// (the "measured" runtime SWAPP's projections are validated against).
+type RunResult struct {
+	Config   Config
+	Machine  string
+	Profile  *mpiprof.Profile
+	Makespan units.Seconds
+}
+
+// Run executes the instance on machine m through the discrete-event
+// simulator with the MPI profiler attached: per-rank compute times come
+// from the hardware-counter model, boundary exchanges and collectives run
+// through the MPI layer.
+func (inst *Instance) Run(m *arch.Machine) (*RunResult, error) {
+	return inst.run(m, true)
+}
+
+// RunBare is Run without the profiling observer — the baseline for
+// measuring the profiler's host-side overhead (the paper's §5 claim).
+func (inst *Instance) RunBare(m *arch.Machine) (units.Seconds, error) {
+	res, err := inst.run(m, false)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+func (inst *Instance) run(m *arch.Machine, profiled bool) (*RunResult, error) {
+	ranks := inst.Cfg.Ranks
+	threads := inst.Cfg.ThreadsPerRank()
+	if ranks*threads > m.TotalCores {
+		return nil, fmt.Errorf("nas: %s needs %d cores; %s has %d",
+			inst.Cfg, ranks*threads, m.Name, m.TotalCores)
+	}
+
+	// Per-rank per-step compute time on this machine. Each rank's zones
+	// are worked by `threads` OpenMP threads on its cores (one process
+	// per core in the paper's pure-MPI configuration); every hardware
+	// thread contends for node bandwidth.
+	active := m.CoresPerNode
+	if busy := ranks * threads; busy < active {
+		active = busy
+	}
+	stepTime := make([]units.Seconds, ranks)
+	for r := 0; r < ranks; r++ {
+		sig := inst.rankStepSignature(r)
+		if threads > 1 {
+			sig = inst.threadSignature(sig, threads)
+		}
+		c, err := hpm.Run(sig, hpm.Config{
+			Machine:            m,
+			Mode:               hpm.ST,
+			ActiveTasksPerNode: active,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("nas: compute model for rank %d: %w", r, err)
+		}
+		stepTime[r] = c.Runtime
+		if threads > 1 {
+			// OpenMP runtime overhead per step (fork/join, barriers).
+			stepTime[r] *= 1 + inst.Spec.OMPOverhead*float64(threads-1)
+		}
+	}
+
+	world, err := mpi.NewWorldHybrid(m, ranks, threads)
+	if err != nil {
+		return nil, err
+	}
+	var prof *mpiprof.Profiler
+	if profiled {
+		prof = mpiprof.New(ranks)
+		world.SetObserver(prof)
+	}
+
+	spec := inst.Spec
+	jitter := m.OSJitterSigma
+	makespan, err := world.Run(func(r *mpi.Rank) {
+		id := r.ID()
+		// Per-rank OS-noise stream: every timestep's compute wiggles a
+		// little, turning boundary synchronization into WaitTime.
+		noise := rng.New(fmt.Sprintf("osjitter|%s|%s|%d", inst.Cfg, m.Name, id))
+		// Initialization: parameter broadcast from rank 0.
+		for i := 0; i < 3; i++ {
+			r.Bcast(0, 24)
+		}
+		for step := 0; step < spec.Steps; step++ {
+			// Boundary exchange: post receives, fire sends, wait.
+			reqs := make([]*mpi.Request, 0, len(inst.recvs[id])+len(inst.sends[id]))
+			for _, fm := range inst.recvs[id] {
+				reqs = append(reqs, r.Irecv(fm.peer, fm.bytes, fm.tag))
+			}
+			for _, fm := range inst.sends[id] {
+				reqs = append(reqs, r.Isend(fm.peer, fm.bytes, fm.tag))
+			}
+			r.Waitall(reqs...)
+			// Zone solves, with OS jitter.
+			dt := stepTime[id]
+			if jitter > 0 {
+				f := 1 + noise.Normal(0, jitter)
+				if f < 0.5 {
+					f = 0.5
+				}
+				dt *= f
+			}
+			r.Compute(dt)
+			// Periodic convergence check.
+			if (step+1)%spec.CheckEvery == 0 {
+				r.Reduce(0, 40)
+			}
+		}
+		// Verification: residual norms to rank 0, verdict broadcast back.
+		r.Reduce(0, 40)
+		r.Bcast(0, 8)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("nas: %s on %s: %w", inst.Cfg, m.Name, err)
+	}
+	res := &RunResult{
+		Config:   inst.Cfg,
+		Machine:  m.Name,
+		Makespan: makespan,
+	}
+	if profiled {
+		res.Profile = prof.Profile(inst.Cfg.String(), m.Name, makespan)
+	}
+	return res, nil
+}
+
+// Run is a convenience wrapper: lay out and execute cfg on machine m.
+func Run(cfg Config, m *arch.Machine) (*RunResult, error) {
+	inst, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return inst.Run(m)
+}

@@ -1,0 +1,208 @@
+package spec
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/hpm"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	var cint, cfp int
+	seen := map[string]bool{}
+	for _, b := range Suite() {
+		if seen[b.Name()] {
+			t.Errorf("duplicate benchmark %s", b.Name())
+		}
+		seen[b.Name()] = true
+		switch b.Group {
+		case CINT:
+			cint++
+			if b.Sig.FPFraction != 0 {
+				t.Errorf("%s: integer benchmark with FP work", b.Name())
+			}
+		case CFP:
+			cfp++
+			if b.Sig.FPFraction <= 0.1 {
+				t.Errorf("%s: FP benchmark with trivial FP mix", b.Name())
+			}
+		default:
+			t.Errorf("%s: unknown group %q", b.Name(), b.Group)
+		}
+	}
+	if cint != 12 || cfp != 17 {
+		t.Errorf("suite = %d CINT + %d CFP, want 12 + 17", cint, cfp)
+	}
+}
+
+func TestAllSignaturesValid(t *testing.T) {
+	for _, b := range Suite() {
+		if err := b.Sig.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name(), err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Group != CINT {
+		t.Error("mcf is CINT")
+	}
+	if _, err := ByName("999.nope"); err == nil {
+		t.Error("unknown name must error")
+	}
+}
+
+func TestNamesOrdered(t *testing.T) {
+	names := Names()
+	if len(names) != 29 {
+		t.Fatalf("len(Names) = %d", len(names))
+	}
+	if names[0] != "400.perlbench" || names[len(names)-1] != "482.sphinx3" {
+		t.Errorf("suite ordering broken: %v … %v", names[0], names[len(names)-1])
+	}
+}
+
+func TestRunBenchmark(t *testing.T) {
+	m := arch.MustGet(arch.Hydra)
+	b, _ := ByName("470.lbm")
+	r, err := RunBenchmark(b, m, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Runtime() <= 0 {
+		t.Error("non-positive runtime")
+	}
+	if r.SMT.Runtime <= r.ST.Runtime {
+		t.Error("an SMT thread sharing a core must be slower than ST")
+	}
+	cv := r.CharacterVector()
+	if len(cv) != 2*hpm.NumMetrics {
+		t.Errorf("character vector length %d, want %d", len(cv), 2*hpm.NumMetrics)
+	}
+}
+
+func TestRunBenchmarkNoSMTMachine(t *testing.T) {
+	m := arch.MustGet(arch.BlueGene) // SMTWays == 1
+	b, _ := ByName("453.povray")
+	r, err := RunBenchmark(b, m, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SMT != r.ST {
+		t.Error("machines without SMT must reuse the ST observation")
+	}
+}
+
+func TestRunSuiteCoversPool(t *testing.T) {
+	m := arch.MustGet(arch.Hydra)
+	res, err := RunSuite(m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 29 {
+		t.Fatalf("suite results = %d", len(res))
+	}
+	for name, r := range res {
+		if r.Bench != name || r.Machine != arch.Hydra {
+			t.Errorf("%s: mislabeled result", name)
+		}
+	}
+}
+
+func TestSuiteSpansBehaviourSpace(t *testing.T) {
+	// The GA needs diversity: the pool must contain both clearly
+	// compute-bound and clearly memory-bound members on the base machine.
+	m := arch.MustGet(arch.Hydra)
+	res, err := RunSuite(m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minStallShare, maxStallShare = 1.0, 0.0
+	for _, r := range res {
+		share := r.ST.CPIStallTotal / r.ST.CPI
+		if share < minStallShare {
+			minStallShare = share
+		}
+		if share > maxStallShare {
+			maxStallShare = share
+		}
+	}
+	if minStallShare > 0.35 {
+		t.Errorf("no compute-bound member: min stall share %v", minStallShare)
+	}
+	if maxStallShare < 0.6 {
+		t.Errorf("no memory-bound member: max stall share %v", maxStallShare)
+	}
+}
+
+func TestRelativeBehaviourAcrossPool(t *testing.T) {
+	m := arch.MustGet(arch.Hydra)
+	mcf, _ := ByName("429.mcf")
+	povray, _ := ByName("453.povray")
+	rm, err := RunBenchmark(mcf, m, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := RunBenchmark(povray, m, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.ST.CPI <= rp.ST.CPI {
+		t.Error("mcf (pointer-chasing) must have much higher CPI than povray")
+	}
+	if rm.ST.DataFromLocal <= rp.ST.DataFromLocal {
+		t.Error("mcf must reload from memory far more than povray")
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	m := arch.MustGet(arch.Hydra)
+	res, err := RunSuite(m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := SortedNames(res)
+	if len(names) != 29 || names[0] != "400.perlbench" {
+		t.Errorf("SortedNames broken: %v", names[:3])
+	}
+	for i, n := range Names() {
+		if names[i] != n {
+			t.Fatalf("order diverges at %d: %s vs %s", i, names[i], n)
+		}
+	}
+}
+
+func TestThroughputRuntimesPlausible(t *testing.T) {
+	// SPEC ref runs take minutes to hours, not microseconds or days, on
+	// every machine model (BG/P's 850 MHz embedded core sits at the slow
+	// end).
+	for _, name := range arch.Names() {
+		m := arch.MustGet(name)
+		res, err := RunSuite(m, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for bn, r := range res {
+			if r.Runtime() < 30 || r.Runtime() > 86400 {
+				t.Errorf("%s on %s: implausible runtime %.3gs", bn, name, r.Runtime())
+			}
+			if math.IsNaN(r.Runtime()) {
+				t.Errorf("%s on %s: NaN runtime", bn, name)
+			}
+		}
+	}
+}
+
+func TestNameFormat(t *testing.T) {
+	for _, n := range Names() {
+		if !strings.Contains(n, ".") {
+			t.Errorf("benchmark %q missing SPEC number prefix", n)
+		}
+	}
+}

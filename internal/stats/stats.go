@@ -1,0 +1,370 @@
+// Package stats supplies the numerical machinery SWAPP's models lean on:
+// descriptive statistics, linear and power-law least squares (for the CCSM
+// compute-scaling fit), straight-line extrapolation to a zero crossing (for
+// the ACSM cache-footprint model), log–log interpolation (for IMB parameter
+// tables), and small dense linear algebra including a non-negative
+// least-squares solver used as the GA ablation baseline.
+//
+// Everything is stdlib-only, deterministic, and sized for the tiny systems
+// SWAPP solves (dozens of unknowns at most), so clarity beats asymptotics.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs (0 for fewer than
+// two samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MeanAbs returns the mean of |xs|.
+func MeanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Abs(x)
+	}
+	return s / float64(len(xs))
+}
+
+// Min and Max return the extrema of a non-empty slice.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of a non-empty slice.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (0 for empty input). The input is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// LinearFit fits y ≈ a + b·x by ordinary least squares and returns (a, b).
+// It requires at least two points with distinct x.
+func LinearFit(xs, ys []float64) (a, b float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, errors.New("stats: LinearFit length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, 0, errors.New("stats: LinearFit needs at least two points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return 0, 0, errors.New("stats: LinearFit has degenerate x values")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	return a, b, nil
+}
+
+// PowerFit fits y ≈ k·x^p via least squares in log–log space and returns
+// (k, p). All xs and ys must be strictly positive. This is the CCSM fit:
+// compute time versus core count under strong scaling, where p ≈ −1 means
+// perfect scaling.
+func PowerFit(xs, ys []float64) (k, p float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, errors.New("stats: PowerFit length mismatch")
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, errors.New("stats: PowerFit requires positive data")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	a, b, err := LinearFit(lx, ly)
+	if err != nil {
+		return 0, 0, err
+	}
+	return math.Exp(a), b, nil
+}
+
+// ZeroCrossing fits a line to (xs, ys) and returns the x at which the fitted
+// line reaches zero. This backs the ACSM extrapolation: the paper finds the
+// core count Ch at which a G5 metric (for example data-from-L3 per
+// instruction) extrapolates to zero. An error is returned when the fit is
+// degenerate or the line never descends (slope ≥ 0).
+func ZeroCrossing(xs, ys []float64) (float64, error) {
+	a, b, err := LinearFit(xs, ys)
+	if err != nil {
+		return 0, err
+	}
+	if b >= 0 {
+		return 0, errors.New("stats: ZeroCrossing needs a descending trend")
+	}
+	return -a / b, nil
+}
+
+// LogLogInterp interpolates the sample pairs (xs, ys) at x in log–log space,
+// clamping outside the sample range to the nearest endpoint value. xs must
+// be sorted ascending and strictly positive, ys strictly positive. This is
+// how IMB timings on a power-of-two message grid are evaluated at the exact
+// message sizes an application profile records.
+func LogLogInterp(xs, ys []float64, x float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		panic("stats: LogLogInterp needs matching non-empty samples")
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[len(xs)-1] {
+		return ys[len(ys)-1]
+	}
+	i := sort.SearchFloat64s(xs, x)
+	if xs[i] == x {
+		return ys[i]
+	}
+	x0, x1 := math.Log(xs[i-1]), math.Log(xs[i])
+	y0, y1 := math.Log(ys[i-1]), math.Log(ys[i])
+	f := (math.Log(x) - x0) / (x1 - x0)
+	return math.Exp(y0 + f*(y1-y0))
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// WeightedDistance returns sqrt(Σ w_i (a_i − b_i)²): the rank-weighted
+// similarity metric SWAPP uses to compare an application's metric vector
+// against a candidate surrogate's.
+func WeightedDistance(a, b, w []float64) float64 {
+	if len(a) != len(b) || len(a) != len(w) {
+		panic("stats: WeightedDistance length mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += w[i] * d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SolveLinear solves the dense square system A·x = b by Gaussian elimination
+// with partial pivoting. A is row-major, n×n, and is not modified.
+func SolveLinear(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("stats: SolveLinear dimension mismatch")
+	}
+	// Working copies.
+	m := make([][]float64, n)
+	for i := range A {
+		if len(A[i]) != n {
+			return nil, errors.New("stats: SolveLinear needs a square matrix")
+		}
+		m[i] = append([]float64(nil), A[i]...)
+	}
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-14 {
+			return nil, errors.New("stats: SolveLinear singular matrix")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		x[col], x[piv] = x[piv], x[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		s := x[col]
+		for c := col + 1; c < n; c++ {
+			s -= m[col][c] * x[c]
+		}
+		x[col] = s / m[col][col]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖A·x − b‖₂ for a tall row-major matrix A (rows ≥
+// cols) via the normal equations. Adequate for the well-conditioned,
+// low-dimensional fits SWAPP performs.
+func LeastSquares(A [][]float64, b []float64) ([]float64, error) {
+	rows := len(A)
+	if rows == 0 || len(b) != rows {
+		return nil, errors.New("stats: LeastSquares dimension mismatch")
+	}
+	cols := len(A[0])
+	if cols == 0 || rows < cols {
+		return nil, errors.New("stats: LeastSquares needs rows ≥ cols ≥ 1")
+	}
+	ata := make([][]float64, cols)
+	atb := make([]float64, cols)
+	for i := 0; i < cols; i++ {
+		ata[i] = make([]float64, cols)
+	}
+	for r := 0; r < rows; r++ {
+		if len(A[r]) != cols {
+			return nil, errors.New("stats: LeastSquares ragged matrix")
+		}
+		for i := 0; i < cols; i++ {
+			atb[i] += A[r][i] * b[r]
+			for j := i; j < cols; j++ {
+				ata[i][j] += A[r][i] * A[r][j]
+			}
+		}
+	}
+	for i := 0; i < cols; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+		ata[i][i] += 1e-12 // tiny ridge for numerical safety
+	}
+	return SolveLinear(ata, atb)
+}
+
+// NNLS solves min ‖A·x − b‖₂ subject to x ≥ 0 by projected gradient descent
+// with an adaptive step. It is deliberately simple: SWAPP's ablation bench
+// compares the GA surrogate search against this dense non-negative fit.
+func NNLS(A [][]float64, b []float64, iters int) ([]float64, error) {
+	rows := len(A)
+	if rows == 0 || len(b) != rows {
+		return nil, errors.New("stats: NNLS dimension mismatch")
+	}
+	cols := len(A[0])
+	x := make([]float64, cols)
+	// Lipschitz estimate: ‖A‖_F² bounds the largest eigenvalue of AᵀA.
+	var frob float64
+	for r := range A {
+		if len(A[r]) != cols {
+			return nil, errors.New("stats: NNLS ragged matrix")
+		}
+		for c := range A[r] {
+			frob += A[r][c] * A[r][c]
+		}
+	}
+	if frob == 0 {
+		return x, nil
+	}
+	step := 1 / frob
+	res := make([]float64, rows)
+	grad := make([]float64, cols)
+	for it := 0; it < iters; it++ {
+		for r := 0; r < rows; r++ {
+			res[r] = -b[r]
+			for c := 0; c < cols; c++ {
+				res[r] += A[r][c] * x[c]
+			}
+		}
+		for c := 0; c < cols; c++ {
+			grad[c] = 0
+			for r := 0; r < rows; r++ {
+				grad[c] += A[r][c] * res[r]
+			}
+		}
+		var moved float64
+		for c := 0; c < cols; c++ {
+			nx := x[c] - step*grad[c]
+			if nx < 0 {
+				nx = 0
+			}
+			moved += math.Abs(nx - x[c])
+			x[c] = nx
+		}
+		if moved < 1e-12 {
+			break
+		}
+	}
+	return x, nil
+}
+
+// Residual returns ‖A·x − b‖₂.
+func Residual(A [][]float64, x, b []float64) float64 {
+	var s float64
+	for r := range A {
+		d := -b[r]
+		for c := range x {
+			d += A[r][c] * x[c]
+		}
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,127 @@
+// Package units provides small shared helpers for formatting and
+// manipulating the quantities that flow through the simulator: simulated
+// time (seconds as float64), byte counts, rates, and the power-of-two
+// message-size grids that the IMB-style benchmarks sweep.
+package units
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Seconds is simulated wall-clock time. All simulator-internal math uses
+// float64 seconds; conversion to time.Duration happens only at API edges.
+type Seconds = float64
+
+// Bytes is a message or working-set size in bytes.
+type Bytes = int64
+
+// Common byte multiples.
+const (
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+)
+
+// FormatSeconds renders a simulated duration with an SI prefix suited to its
+// magnitude (ns/µs/ms/s), keeping three significant digits.
+func FormatSeconds(s Seconds) string {
+	abs := math.Abs(s)
+	switch {
+	case s == 0:
+		return "0s"
+	case abs < 1e-6:
+		return fmt.Sprintf("%.3gns", s*1e9)
+	case abs < 1e-3:
+		return fmt.Sprintf("%.3gµs", s*1e6)
+	case abs < 1:
+		return fmt.Sprintf("%.3gms", s*1e3)
+	default:
+		return fmt.Sprintf("%.4gs", s)
+	}
+}
+
+// FormatBytes renders a byte count with a binary prefix (B/KiB/MiB/GiB).
+func FormatBytes(b Bytes) string {
+	switch {
+	case b < KiB:
+		return fmt.Sprintf("%dB", b)
+	case b < MiB:
+		return fmt.Sprintf("%gKiB", float64(b)/float64(KiB))
+	case b < GiB:
+		return fmt.Sprintf("%gMiB", float64(b)/float64(MiB))
+	default:
+		return fmt.Sprintf("%gGiB", float64(b)/float64(GiB))
+	}
+}
+
+// FormatRate renders a bandwidth in bytes/second with a suitable prefix.
+func FormatRate(bytesPerSec float64) string {
+	switch {
+	case bytesPerSec < 1e3:
+		return fmt.Sprintf("%.3gB/s", bytesPerSec)
+	case bytesPerSec < 1e6:
+		return fmt.Sprintf("%.3gKB/s", bytesPerSec/1e3)
+	case bytesPerSec < 1e9:
+		return fmt.Sprintf("%.3gMB/s", bytesPerSec/1e6)
+	default:
+		return fmt.Sprintf("%.3gGB/s", bytesPerSec/1e9)
+	}
+}
+
+// Pow2Sizes returns the ascending power-of-two size grid {min, 2min, …, max}
+// (inclusive on both ends when max is itself on the grid). It is the sweep
+// used by the IMB-style benchmarks. min must be ≥ 1 and ≤ max.
+func Pow2Sizes(min, max Bytes) []Bytes {
+	if min < 1 || min > max {
+		panic(fmt.Sprintf("units: bad Pow2Sizes range [%d,%d]", min, max))
+	}
+	var out []Bytes
+	for s := min; s <= max; s *= 2 {
+		out = append(out, s)
+		if s > max/2 { // avoid overflow on the doubling
+			break
+		}
+	}
+	return out
+}
+
+// NearestGridSizes returns the two grid sizes bracketing size for
+// interpolation, from the sorted grid. If size is below the grid both
+// returns are the first entry; above, both are the last.
+func NearestGridSizes(grid []Bytes, size Bytes) (lo, hi Bytes) {
+	if len(grid) == 0 {
+		panic("units: empty grid")
+	}
+	i := sort.Search(len(grid), func(i int) bool { return grid[i] >= size })
+	switch {
+	case i == 0:
+		return grid[0], grid[0]
+	case i == len(grid):
+		return grid[len(grid)-1], grid[len(grid)-1]
+	case grid[i] == size:
+		return grid[i], grid[i]
+	default:
+		return grid[i-1], grid[i]
+	}
+}
+
+// Clamp bounds x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Percent expresses part/whole as a percentage, returning 0 when whole is 0.
+func Percent(part, whole float64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * part / whole
+}

@@ -1,0 +1,157 @@
+package units
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatSeconds(t *testing.T) {
+	cases := []struct {
+		in   Seconds
+		want string
+	}{
+		{0, "0s"},
+		{1.5e-9, "1.5ns"},
+		{2.5e-6, "2.5µs"},
+		{3.25e-3, "3.25ms"},
+		{42.5, "42.5s"},
+	}
+	for _, c := range cases {
+		if got := FormatSeconds(c.in); got != c.want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512B"},
+		{KiB, "1KiB"},
+		{4 * MiB, "4MiB"},
+		{2 * GiB, "2GiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	if got := FormatRate(2e9); got != "2GB/s" {
+		t.Errorf("FormatRate(2e9) = %q", got)
+	}
+	if got := FormatRate(500); got != "500B/s" {
+		t.Errorf("FormatRate(500) = %q", got)
+	}
+}
+
+func TestPow2Sizes(t *testing.T) {
+	got := Pow2Sizes(1, 16)
+	want := []Bytes{1, 2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("Pow2Sizes(1,16) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pow2Sizes(1,16) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPow2SizesPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for min > max")
+		}
+	}()
+	Pow2Sizes(8, 4)
+}
+
+// Property: every returned size is a doubling of the previous, within range.
+func TestPow2SizesProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		min := Bytes(a%1024) + 1
+		max := min + Bytes(b)
+		g := Pow2Sizes(min, max)
+		if len(g) == 0 || g[0] != min {
+			return false
+		}
+		for i := 1; i < len(g); i++ {
+			if g[i] != 2*g[i-1] || g[i] > max {
+				return false
+			}
+		}
+		// The next doubling must exceed max.
+		return 2*g[len(g)-1] > max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNearestGridSizes(t *testing.T) {
+	grid := []Bytes{1, 2, 4, 8}
+	cases := []struct {
+		size   Bytes
+		lo, hi Bytes
+	}{
+		{0, 1, 1},
+		{1, 1, 1},
+		{3, 2, 4},
+		{8, 8, 8},
+		{100, 8, 8},
+	}
+	for _, c := range cases {
+		lo, hi := NearestGridSizes(grid, c.size)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("NearestGridSizes(%d) = (%d,%d), want (%d,%d)", c.size, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+// Property: the bracket always contains or bounds the query.
+func TestNearestGridSizesProperty(t *testing.T) {
+	grid := Pow2Sizes(1, 1<<20)
+	f := func(q uint32) bool {
+		size := Bytes(q % (2 << 20))
+		lo, hi := NearestGridSizes(grid, size)
+		if lo > hi {
+			return false
+		}
+		i := sort.Search(len(grid), func(i int) bool { return grid[i] >= lo })
+		if grid[i] != lo {
+			return false
+		}
+		if size >= grid[0] && size <= grid[len(grid)-1] {
+			return lo <= size && size <= hi
+		}
+		return lo == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(1, 4) != 25 {
+		t.Error("Percent(1,4) != 25")
+	}
+	if Percent(1, 0) != 0 {
+		t.Error("Percent with zero whole should be 0")
+	}
+	if math.IsNaN(Percent(0, 0)) {
+		t.Error("Percent(0,0) must not be NaN")
+	}
+}

@@ -1,0 +1,208 @@
+// Package swapp is SWAPP — Surrogate-based Workload Application Performance
+// Projection — a framework for projecting the performance of HPC
+// applications onto machines they cannot be run on, using benchmark data,
+// reproduced from:
+//
+//	Sharkawi, DeSota, Panda, Stevens, Taylor, Wu.
+//	"SWAPP: A Framework for Performance Projections of HPC Applications
+//	Using Benchmarks", IPDPS 2012.
+//
+// The package is the public face of the repository. It wires together the
+// internal substrates — machine models, a hardware-counter simulator, a
+// discrete-event MPI simulator, the SPEC CPU2006 and IMB surrogate
+// benchmark suites, and the NAS Multi-Zone applications — behind a small
+// API:
+//
+//	result, err := swapp.Project(swapp.Request{
+//	        Target: swapp.TargetPower6,
+//	        Bench:  swapp.BT, Class: swapp.ClassC, Ranks: 64,
+//	})
+//
+// Everything runs on simulated hardware (see DESIGN.md for the
+// substitutions); SWAPP itself — profiles in, projections out — is exactly
+// the paper's pipeline.
+package swapp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/mpi"
+	"repro/internal/nas"
+	"repro/internal/units"
+)
+
+// Machine short names (the paper's Table 2 systems).
+const (
+	BaseHydra      = arch.Hydra    // TAMU Hydra, POWER5+ — the base machine
+	TargetPower6   = arch.Power6   // IBM POWER6 575 cluster
+	TargetBlueGene = arch.BlueGene // IBM BlueGene/P
+	TargetWestmere = arch.Westmere // IBM iDataPlex, Xeon X5670
+)
+
+// Benchmarks (the paper's applications).
+const (
+	BT = nas.BT // BT-MZ: uneven zones, WaitTime-dominated at scale
+	SP = nas.SP // SP-MZ: even zones, transfer-driven communication
+	LU = nas.LU // LU-MZ: 16 zones, minimal communication
+)
+
+// Problem classes.
+const (
+	ClassC = nas.ClassC
+	ClassD = nas.ClassD
+)
+
+// Machines lists the modelled systems (sorted by short name).
+func Machines() []*arch.Machine { return arch.All() }
+
+// MachineNames lists the modelled systems' short names.
+func MachineNames() []string { return arch.Names() }
+
+// Request selects one projection: application, problem size, target
+// machine and core count. Base defaults to the paper's Hydra.
+type Request struct {
+	Base   string
+	Target string
+	Bench  nas.Benchmark
+	Class  nas.Class
+	Ranks  int
+}
+
+// withDefaults validates and fills the request.
+func (r Request) withDefaults() (Request, error) {
+	if r.Base == "" {
+		r.Base = BaseHydra
+	}
+	if _, err := arch.Get(r.Base); err != nil {
+		return r, err
+	}
+	if _, err := arch.Get(r.Target); err != nil {
+		return r, err
+	}
+	if r.Base == r.Target {
+		return r, fmt.Errorf("swapp: target must differ from base (%s)", r.Base)
+	}
+	if r.Ranks <= 0 {
+		return r, fmt.Errorf("swapp: ranks must be positive")
+	}
+	if max := nas.MaxRanks(r.Bench, r.Class); max == 0 {
+		return r, fmt.Errorf("swapp: unknown benchmark/class %s.%c", r.Bench, r.Class)
+	} else if r.Ranks > max {
+		return r, fmt.Errorf("swapp: %s.%c supports at most %d ranks", r.Bench, r.Class, max)
+	}
+	return r, nil
+}
+
+// Result is a finished projection, optionally with its validation against
+// a measured run.
+type Result struct {
+	Request    Request
+	Projection *core.Projection
+	// Validation is nil unless ProjectAndValidate was used.
+	Validation *core.Validation
+}
+
+// TotalSeconds is the projected application runtime.
+func (r *Result) TotalSeconds() units.Seconds { return r.Projection.Total }
+
+// String summarises the result.
+func (r *Result) String() string {
+	p := r.Projection
+	s := fmt.Sprintf("%s @%d ranks on %s: projected %s (compute %s + communication %s)",
+		p.App, p.Ck, p.Target,
+		units.FormatSeconds(p.Total), units.FormatSeconds(p.ComputeTime), units.FormatSeconds(p.CommTime))
+	if r.Validation != nil {
+		s += fmt.Sprintf("; measured %s (error %+.2f%%)",
+			units.FormatSeconds(r.Validation.MeasuredTotal), r.Validation.ErrCombined)
+	}
+	return s
+}
+
+// Project runs the full SWAPP pipeline for one request: benchmark data
+// gathering on base and target, application characterisation on the base,
+// and the combined compute + communication projection. The target machine
+// is never given the application.
+func Project(req Request) (*Result, error) {
+	req, err := req.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	pipe, app, err := prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := pipe.Project(app, req.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Request: req, Projection: proj}, nil
+}
+
+// ProjectAndValidate additionally runs the application on the (simulated)
+// target — the ground truth a SWAPP user does not have — and reports the
+// projection error.
+func ProjectAndValidate(req Request) (*Result, error) {
+	req, err := req.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	pipe, app, err := prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	v, err := pipe.Validate(app, req.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Request: req, Projection: v.Proj, Validation: v}, nil
+}
+
+// prepare builds the pipeline and app model for a request.
+func prepare(req Request) (*core.Pipeline, *core.AppModel, error) {
+	base := arch.MustGet(req.Base)
+	target := arch.MustGet(req.Target)
+	counts := charCountsFor(req.Bench, req.Class, req.Ranks)
+	pipe, err := core.NewPipeline(base, target, counts)
+	if err != nil {
+		return nil, nil, err
+	}
+	app, err := pipe.CharacterizeApp(req.Bench, req.Class, counts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pipe, app, nil
+}
+
+// charCountsFor picks the base-machine characterisation sweep for a
+// request: the paper's counts, restricted to the benchmark's limits and
+// including the requested count when it is profile-able.
+func charCountsFor(b nas.Benchmark, c nas.Class, ranks int) []int {
+	max := nas.MaxRanks(b, c)
+	set := map[int]bool{}
+	for _, v := range []int{16, 32, 64, 128, ranks} {
+		if v >= 2 && v <= max {
+			set[v] = true
+		}
+	}
+	if b == nas.LU {
+		set[4], set[8] = true, true
+	}
+	var out []int
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NewEvaluation returns a figures.Runner for regenerating the paper's full
+// evaluation (Tables 1–2, Figures 3–9, summary). See cmd/figures for a CLI
+// around it.
+func NewEvaluation() *figures.Runner { return figures.NewRunner() }
+
+// CommClasses re-exports the routine classes used in reports.
+var CommClasses = []mpi.Class{mpi.ClassP2PNB, mpi.ClassP2PB, mpi.ClassCollective}
