@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+## check: everything CI runs — vet, build, full tests, race tests.
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector slows the simulator ~10x; -short keeps the heaviest
+# figure-grid cases out while still exercising every parallel path
+# (the ga/core/figures parallel-vs-serial tests all run in -short mode
+# except the full figures grid). A generous -timeout covers slow CI boxes.
+race:
+	$(GO) test -race -short -timeout 1800s ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'Speedup|EnforceSparsity|TopK' -benchtime 1x ./...

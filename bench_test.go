@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -350,6 +351,84 @@ func BenchmarkAblationScalingModel(b *testing.B) {
 	}
 	b.ReportMetric(errOf(proj.ComputeTime), "with_gamma|err|%")
 	b.ReportMetric(errOf(proj.ComputeTime/proj.Gamma), "without_gamma|err|%")
+}
+
+// --- parallel evaluation engine ---------------------------------------------------
+
+// The engine's contract is that Workers only changes wall-clock time,
+// never output (see DESIGN.md, "Parallelism & determinism"). These benches
+// time the serial path against the pooled path back to back and attach the
+// ratio as a metric: ~1x on a single-core host, approaching the core count
+// at GOMAXPROCS >= 4.
+
+func benchNewPipeline(b *testing.B, workers int) {
+	base := arch.MustGet(arch.Hydra)
+	tgt := arch.MustGet(arch.Power6)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewPipelineOpts(base, tgt, []int{4, 8, 16}, core.Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewPipelineSerial(b *testing.B)   { benchNewPipeline(b, 1) }
+func BenchmarkNewPipelineParallel(b *testing.B) { benchNewPipeline(b, 0) }
+
+func BenchmarkNewPipelineSpeedup(b *testing.B) {
+	base := arch.MustGet(arch.Hydra)
+	tgt := arch.MustGet(arch.Power6)
+	counts := []int{4, 8, 16}
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := core.NewPipelineOpts(base, tgt, counts, core.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(t0)
+		t1 := time.Now()
+		if _, err := core.NewPipelineOpts(base, tgt, counts, core.Options{Workers: 0}); err != nil {
+			b.Fatal(err)
+		}
+		parallel += time.Since(t1)
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+}
+
+// benchFigureEngine times one full figure evaluation on a fresh runner
+// (nothing cached) at a given pool size.
+func benchFigureEngine(b *testing.B, workers int, gen func(*figures.Runner) error) time.Duration {
+	b.Helper()
+	r := figures.NewRunner()
+	r.Workers = workers
+	t0 := time.Now()
+	if err := gen(r); err != nil {
+		b.Fatal(err)
+	}
+	return time.Since(t0)
+}
+
+func BenchmarkLUFigureSpeedup(b *testing.B) {
+	// Figure 6 end to end — three machine-pair pipelines, three app
+	// characterisations, six validation cells — serial vs pooled.
+	lu := func(r *figures.Runner) error { _, err := r.LUFigure(); return err }
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		serial += benchFigureEngine(b, 1, lu)
+		parallel += benchFigureEngine(b, 0, lu)
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+}
+
+func BenchmarkAllFiguresSpeedup(b *testing.B) {
+	// The paper's entire evaluation grid (Figures 3-9, 54 cells) on a
+	// fresh runner, serial vs pooled. Expensive: minutes per iteration.
+	all := func(r *figures.Runner) error { _, err := r.AllFigures(); return err }
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		serial += benchFigureEngine(b, 1, all)
+		parallel += benchFigureEngine(b, 0, all)
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
 }
 
 // --- simulator throughput ---------------------------------------------------------

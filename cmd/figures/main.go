@@ -46,6 +46,7 @@ func main() {
 		summary = flag.Bool("summary", false, "regenerate the §4 summary statistics")
 		csvDir  = flag.String("csv", "", "directory to also write CSV files into")
 		quiet   = flag.Bool("q", false, "suppress progress output")
+		workers = flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS, 1 = serial); output is identical either way")
 	)
 	flag.Var(&figs, "fig", "figure number to regenerate (repeatable, 3–9)")
 	flag.Parse()
@@ -60,6 +61,7 @@ func main() {
 	}
 
 	r := figures.NewRunner()
+	r.Workers = *workers
 	if !*quiet {
 		r.Verbose = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "… "+format+"\n", args...)

@@ -26,6 +26,7 @@ func main() {
 		target   = flag.String("target", swapp.TargetPower6, "target machine: "+strings.Join(swapp.MachineNames(), ", "))
 		base     = flag.String("base", swapp.BaseHydra, "base machine")
 		validate = flag.Bool("validate", false, "also run the application on the target and report the error")
+		workers  = flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS, 1 = serial); the projection is identical either way")
 	)
 	flag.Parse()
 
@@ -33,11 +34,12 @@ func main() {
 		fatal("class must be a single letter (C or D)")
 	}
 	req := swapp.Request{
-		Base:   *base,
-		Target: *target,
-		Bench:  nas.Benchmark(*bench),
-		Class:  nas.Class((*class)[0]),
-		Ranks:  *ranks,
+		Base:    *base,
+		Target:  *target,
+		Bench:   nas.Benchmark(*bench),
+		Class:   nas.Class((*class)[0]),
+		Ranks:   *ranks,
+		Workers: *workers,
 	}
 
 	var res *swapp.Result

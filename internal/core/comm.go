@@ -176,8 +176,17 @@ func splitX(se *mpiprof.SizeEntry, cpn int) (xIntra, xInter float64) {
 	if se.Calls == 0 {
 		return 0, 0
 	}
+	// Sorted iteration: the float accumulation order must not depend on
+	// map iteration order, or the projection wobbles in the last ULP from
+	// run to run.
+	offs := make([]int, 0, len(se.Offsets))
+	for off := range se.Offsets {
+		offs = append(offs, off)
+	}
+	sort.Ints(offs)
 	var intra, inter float64
-	for off, n := range se.Offsets {
+	for _, off := range offs {
+		n := se.Offsets[off]
 		f := intraFraction(off, cpn)
 		intra += f * float64(n)
 		inter += (1 - f) * float64(n)

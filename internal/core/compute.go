@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ga"
 	"repro/internal/hpm"
+	"repro/internal/par"
 	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/units"
@@ -300,21 +301,36 @@ func (p *Pipeline) ProjectComputeOpts(app *AppModel, ci int, opts ComputeOptions
 
 	// The GA is stochastic; an ensemble of independent runs stabilises
 	// the projected ratio. The best-fitness genome is reported as the
-	// surrogate; the ratio is the fitness-weighted ensemble mean.
+	// surrogate; the ratio is the fitness-weighted ensemble mean. The
+	// members are independently seeded, so they run concurrently on the
+	// pipeline's pool; their results are combined serially in member
+	// order, keeping the floating-point accumulation — and therefore the
+	// projection — identical to the serial path.
 	const ensemble = 3
-	var bestGenome []float64
-	bestFitness := math.Inf(1)
-	var ratioSum, ratioWeight float64
-	for e := 0; e < ensemble; e++ {
+	members := make([]*ga.Result, ensemble)
+	err := par.ForEach(par.Workers(p.Workers), ensemble, func(e int) error {
 		res, err := ga.Run(ga.Config{
 			GenomeLen: len(names),
 			MaxActive: surrogateMaxSize,
 			Seed:      fmt.Sprintf("surrogate|%s|%s|%d|%d", app.Name(), p.Target.Name, ci, e),
 			Fitness:   fitness,
+			// The ensemble is already fanned out; keep each member's
+			// own evaluation serial to avoid oversubscription.
+			Workers: 1,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		members[e] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var bestGenome []float64
+	bestFitness := math.Inf(1)
+	var ratioSum, ratioWeight float64
+	for _, res := range members {
 		var wsum, baseMix, targetMix float64
 		for _, w := range res.Best {
 			wsum += w

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -421,5 +422,79 @@ func TestCorrelation(t *testing.T) {
 	}
 	if c := correlation([]float64{1, 1, 1}, []float64{1, 2, 3}); c != 0 {
 		t.Errorf("degenerate correlation = %v", c)
+	}
+}
+
+func TestParallelPipelineMatchesSerial(t *testing.T) {
+	// The whole evaluation engine's contract: every characterisation is a
+	// pure function of its (machine, workload) key, so the fan-out in
+	// NewPipelineOpts, CharacterizeApp and the GA ensemble must yield
+	// byte-identical data whatever the worker count.
+	base := arch.MustGet(arch.Hydra)
+	tgt := arch.MustGet(arch.Power6)
+	counts := []int{4, 8, 16}
+
+	serial, err := NewPipelineOpts(base, tgt, counts, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewPipelineOpts(base, tgt, counts, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.SpecBase, parallel.SpecBase) {
+		t.Error("SPEC base tables differ between serial and parallel gathering")
+	}
+	if !reflect.DeepEqual(serial.SpecTarget, parallel.SpecTarget) {
+		t.Error("SPEC target tables differ between serial and parallel gathering")
+	}
+	if !reflect.DeepEqual(serial.IMBBase, parallel.IMBBase) {
+		t.Error("IMB base tables differ between serial and parallel gathering")
+	}
+	if !reflect.DeepEqual(serial.IMBTarget, parallel.IMBTarget) {
+		t.Error("IMB target tables differ between serial and parallel gathering")
+	}
+
+	appS, err := serial.CharacterizeApp(nas.LU, nas.ClassC, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appP, err := parallel.CharacterizeApp(nas.LU, nas.ClassC, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(appS.Counters, appP.Counters) {
+		t.Error("app counters differ between serial and parallel characterisation")
+	}
+	if !reflect.DeepEqual(appS.Profiles, appP.Profiles) {
+		t.Error("app profiles differ between serial and parallel characterisation")
+	}
+
+	cpS, err := serial.ProjectCompute(appS, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpP, err := parallel.ProjectCompute(appP, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpS.TargetTime != cpP.TargetTime || cpS.Fitness != cpP.Fitness {
+		t.Errorf("compute projection differs: serial (%v, %v) vs parallel (%v, %v)",
+			cpS.TargetTime, cpS.Fitness, cpP.TargetTime, cpP.Fitness)
+	}
+	if !reflect.DeepEqual(cpS.Surrogate, cpP.Surrogate) {
+		t.Errorf("surrogates differ: %v vs %v", cpS.Surrogate, cpP.Surrogate)
+	}
+}
+
+func TestNewPipelineDedupesCounts(t *testing.T) {
+	base := arch.MustGet(arch.Hydra)
+	tgt := arch.MustGet(arch.BlueGene)
+	p, err := NewPipelineOpts(base, tgt, []int{8, 4, 8, 4}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.IMBBase) != 2 || len(p.IMBTarget) != 2 {
+		t.Errorf("duplicate rank counts not deduped: %d/%d tables", len(p.IMBBase), len(p.IMBTarget))
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/imb"
 	"repro/internal/mpiprof"
 	"repro/internal/nas"
+	"repro/internal/par"
 	"repro/internal/spec"
 	"repro/internal/units"
 )
@@ -31,9 +32,16 @@ import (
 // Pipeline holds the benchmark data SWAPP is allowed to use for one
 // (base, target) machine pair: everything here is either measured on the
 // base machine or is "published benchmark data" for the target.
+//
+// A Pipeline is immutable after construction and safe for concurrent use.
 type Pipeline struct {
 	Base   *arch.Machine
 	Target *arch.Machine
+
+	// Workers bounds the pipeline's internal fan-out (benchmark
+	// characterisation, GA ensemble): 0 means runtime.GOMAXPROCS(0),
+	// 1 the serial path. Results are identical for every value.
+	Workers int
 
 	// SPEC CPU2006: counters + runtimes on the base, runtimes on the
 	// target (the paper uses published target numbers).
@@ -45,41 +53,98 @@ type Pipeline struct {
 	IMBTarget map[int]*imb.Table
 }
 
+// Options tunes pipeline construction. The zero value is the default.
+type Options struct {
+	// Workers bounds the concurrency of benchmark characterisation and
+	// of later projections through this pipeline: 0 means
+	// runtime.GOMAXPROCS(0), 1 the legacy serial path.
+	Workers int
+}
+
 // NewPipeline gathers benchmark data for a machine pair at the given job
 // core counts. This is the expensive, application-independent setup the
 // paper assumes done once per machine pair.
 func NewPipeline(base, target *arch.Machine, rankCounts []int) (*Pipeline, error) {
+	return NewPipelineOpts(base, target, rankCounts, Options{})
+}
+
+// NewPipelineOpts is NewPipeline with explicit options. The independent
+// characterisations — SPEC on the base, SPEC on the target, and the IMB
+// sweep per (machine, core count) — run concurrently on a bounded pool
+// with first-error propagation; every run is a pure function of its
+// (machine, workload) key, so the gathered tables are identical to the
+// serial path's.
+func NewPipelineOpts(base, target *arch.Machine, rankCounts []int, opts Options) (*Pipeline, error) {
 	p := &Pipeline{
 		Base:      base,
 		Target:    target,
+		Workers:   opts.Workers,
 		IMBBase:   map[int]*imb.Table{},
 		IMBTarget: map[int]*imb.Table{},
 	}
-	var err error
+	counts := uniqueSorted(rankCounts)
+
+	var g par.Group
+	g.SetLimit(par.Workers(opts.Workers))
 	// Base-side SPEC runs carry measurement noise (we ran them); the
 	// target numbers are published averages — modelled as noisy too.
-	if p.SpecBase, err = spec.RunSuite(base, true); err != nil {
-		return nil, fmt.Errorf("core: SPEC on base: %w", err)
+	g.Go(func() error {
+		var err error
+		if p.SpecBase, err = spec.RunSuite(base, true); err != nil {
+			return fmt.Errorf("core: SPEC on base: %w", err)
+		}
+		return nil
+	})
+	g.Go(func() error {
+		var err error
+		if p.SpecTarget, err = spec.RunSuite(target, true); err != nil {
+			return fmt.Errorf("core: SPEC on target: %w", err)
+		}
+		return nil
+	})
+	imbBase := make([]*imb.Table, len(counts))
+	imbTarget := make([]*imb.Table, len(counts))
+	for i, c := range counts {
+		i, c := i, c
+		g.Go(func() error {
+			tb, err := imb.Run(base, c, nil)
+			if err != nil {
+				return fmt.Errorf("core: IMB on base at %d ranks: %w", c, err)
+			}
+			imbBase[i] = tb
+			return nil
+		})
+		g.Go(func() error {
+			tt, err := imb.Run(target, c, nil)
+			if err != nil {
+				return fmt.Errorf("core: IMB on target at %d: %w", c, err)
+			}
+			imbTarget[i] = tt
+			return nil
+		})
 	}
-	if p.SpecTarget, err = spec.RunSuite(target, true); err != nil {
-		return nil, fmt.Errorf("core: SPEC on target: %w", err)
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
-	for _, c := range rankCounts {
-		if _, done := p.IMBBase[c]; done {
-			continue
-		}
-		tb, err := imb.Run(base, c, nil)
-		if err != nil {
-			return nil, fmt.Errorf("core: IMB on base at %d ranks: %w", c, err)
-		}
-		tt, err := imb.Run(target, c, nil)
-		if err != nil {
-			return nil, fmt.Errorf("core: IMB on target at %d: %w", c, err)
-		}
-		p.IMBBase[c] = tb
-		p.IMBTarget[c] = tt
+	for i, c := range counts {
+		p.IMBBase[c] = imbBase[i]
+		p.IMBTarget[c] = imbTarget[i]
 	}
 	return p, nil
+}
+
+// uniqueSorted returns the distinct values of xs in ascending order.
+func uniqueSorted(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // imbAt fetches a machine-pair's IMB tables for a core count, erroring if
@@ -141,22 +206,36 @@ func (p *Pipeline) CharacterizeApp(b nas.Benchmark, c nas.Class, counts []int) (
 		Counters: map[int]*CounterPair{},
 	}
 	sort.Ints(app.Counts)
-	for _, ranks := range app.Counts {
+	// Each core count's profile + counter runs are independent pure
+	// functions of (machine, workload, ranks) keys; fan them out and
+	// collect by index.
+	profiles := make([]*mpiprof.Profile, len(app.Counts))
+	pairs := make([]*CounterPair, len(app.Counts))
+	err := par.ForEach(par.Workers(p.Workers), len(app.Counts), func(i int) error {
+		ranks := app.Counts[i]
 		inst, err := nas.New(nas.Config{Bench: b, Class: c, Ranks: ranks})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := inst.Run(p.Base)
 		if err != nil {
-			return nil, fmt.Errorf("core: base profile at %d ranks: %w", ranks, err)
+			return fmt.Errorf("core: base profile at %d ranks: %w", ranks, err)
 		}
-		app.Profiles[ranks] = res.Profile
+		profiles[i] = res.Profile
 
 		cp, err := p.measureCounters(inst, ranks)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		app.Counters[ranks] = cp
+		pairs[i] = cp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ranks := range app.Counts {
+		app.Profiles[ranks] = profiles[i]
+		app.Counters[ranks] = pairs[i]
 	}
 	return app, nil
 }

@@ -7,17 +7,25 @@
 //
 // A Runner caches the expensive artifacts — benchmark pipelines per
 // machine pair, application characterisations, and validations — so that
-// one process can assemble all figures without repeating work.
+// one process can assemble all figures without repeating work. It is safe
+// for concurrent use: the caches are single-flight (concurrent requests
+// for the same artifact share one computation), and AllFigures, Summarize,
+// BenchFigure and LUFigure evaluate their validation cells on a shared
+// bounded worker pool before assembling the output in the paper's fixed
+// order — so the emitted figures and statistics are byte-identical to a
+// serial run whatever Workers is set to.
 package figures
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/nas"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -74,67 +82,101 @@ var figureIDs = map[nas.Benchmark]map[string]string{
 // FigureID returns the paper's figure id for a (benchmark, target) pair.
 func FigureID(b nas.Benchmark, target string) string { return figureIDs[b][target] }
 
+// lazy is a single-flight cache cell: the first get runs the build
+// function once; concurrent and later gets share its outcome.
+type lazy[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (l *lazy[T]) get(build func() (T, error)) (T, error) {
+	l.once.Do(func() { l.val, l.err = build() })
+	return l.val, l.err
+}
+
+// cell returns (creating under the lock on first use) the cache cell for a
+// key.
+func cellFor[T any](mu *sync.Mutex, m map[string]*lazy[T], key string) *lazy[T] {
+	mu.Lock()
+	defer mu.Unlock()
+	e, ok := m[key]
+	if !ok {
+		e = &lazy[T]{}
+		m[key] = e
+	}
+	return e
+}
+
 // Runner executes and caches the full evaluation.
 type Runner struct {
 	Base string
-	// Verbose, if set, receives progress lines.
+	// Verbose, if set, receives progress lines. The Runner serialises
+	// calls, so the hook need not be safe for concurrent use itself.
 	Verbose func(format string, args ...any)
+	// Workers bounds the evaluation pool shared by AllFigures, Summarize
+	// and the per-figure generators, and the pipelines' internal fan-out:
+	// 0 means runtime.GOMAXPROCS(0), 1 the legacy serial path. Output is
+	// identical for every value.
+	Workers int
 
-	pipelines   map[string]*core.Pipeline
-	apps        map[string]*core.AppModel
-	validations map[string]*core.Validation
+	mu          sync.Mutex // guards the cache maps
+	logMu       sync.Mutex // serialises Verbose calls
+	pipelines   map[string]*lazy[*core.Pipeline]
+	apps        map[string]*lazy[*core.AppModel]
+	validations map[string]*lazy[*core.Validation]
 }
 
 // NewRunner creates a Runner projecting from the paper's base machine.
 func NewRunner() *Runner {
 	return &Runner{
 		Base:        arch.Hydra,
-		pipelines:   map[string]*core.Pipeline{},
-		apps:        map[string]*core.AppModel{},
-		validations: map[string]*core.Validation{},
+		pipelines:   map[string]*lazy[*core.Pipeline]{},
+		apps:        map[string]*lazy[*core.AppModel]{},
+		validations: map[string]*lazy[*core.Validation]{},
 	}
 }
 
 // logf emits progress if verbose.
 func (r *Runner) logf(format string, args ...any) {
 	if r.Verbose != nil {
+		r.logMu.Lock()
+		defer r.logMu.Unlock()
 		r.Verbose(format, args...)
 	}
 }
 
+// workers resolves the Runner's pool size.
+func (r *Runner) workers() int { return par.Workers(r.Workers) }
+
 // pipeline returns (building on first use) the benchmark pipeline for a
-// target.
+// target. Concurrent callers for the same target share one build.
 func (r *Runner) pipeline(target string) (*core.Pipeline, error) {
-	if p, ok := r.pipelines[target]; ok {
-		return p, nil
-	}
-	base, err := arch.Get(r.Base)
-	if err != nil {
-		return nil, err
-	}
-	tgt, err := arch.Get(target)
-	if err != nil {
-		return nil, err
-	}
-	r.logf("gathering benchmark data for %s → %s (SPEC + IMB)", r.Base, target)
-	// IMB tables at every core count any app profile uses.
-	counts := map[int]bool{}
-	for _, b := range nas.Benchmarks() {
-		for _, c := range charCounts(b) {
-			counts[c] = true
+	e := cellFor(&r.mu, r.pipelines, target)
+	return e.get(func() (*core.Pipeline, error) {
+		base, err := arch.Get(r.Base)
+		if err != nil {
+			return nil, err
 		}
-	}
-	var list []int
-	for c := range counts {
-		list = append(list, c)
-	}
-	sort.Ints(list)
-	p, err := core.NewPipeline(base, tgt, list)
-	if err != nil {
-		return nil, err
-	}
-	r.pipelines[target] = p
-	return p, nil
+		tgt, err := arch.Get(target)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("gathering benchmark data for %s → %s (SPEC + IMB)", r.Base, target)
+		// IMB tables at every core count any app profile uses.
+		counts := map[int]bool{}
+		for _, b := range nas.Benchmarks() {
+			for _, c := range charCounts(b) {
+				counts[c] = true
+			}
+		}
+		var list []int
+		for c := range counts {
+			list = append(list, c)
+		}
+		sort.Ints(list)
+		return core.NewPipelineOpts(base, tgt, list, core.Options{Workers: r.Workers})
+	})
 }
 
 // charCounts returns the base-machine core counts an app is characterised
@@ -151,44 +193,84 @@ func charCounts(b nas.Benchmark) []int {
 // and class against a target's pipeline.
 func (r *Runner) app(target string, b nas.Benchmark, c nas.Class) (*core.AppModel, error) {
 	key := fmt.Sprintf("%s|%s|%c", target, b, c)
-	if a, ok := r.apps[key]; ok {
-		return a, nil
-	}
-	p, err := r.pipeline(target)
-	if err != nil {
-		return nil, err
-	}
-	r.logf("characterising %s.%c on %s", b, c, r.Base)
-	a, err := p.CharacterizeApp(b, c, charCounts(b))
-	if err != nil {
-		return nil, err
-	}
-	r.apps[key] = a
-	return a, nil
+	e := cellFor(&r.mu, r.apps, key)
+	return e.get(func() (*core.AppModel, error) {
+		p, err := r.pipeline(target)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("characterising %s.%c on %s", b, c, r.Base)
+		return p.CharacterizeApp(b, c, charCounts(b))
+	})
 }
 
 // Validate returns (computing on first use) the validation of one
 // experiment cell.
 func (r *Runner) Validate(target string, b nas.Benchmark, c nas.Class, ck int) (*core.Validation, error) {
 	key := fmt.Sprintf("%s|%s|%c|%d", target, b, c, ck)
-	if v, ok := r.validations[key]; ok {
-		return v, nil
+	e := cellFor(&r.mu, r.validations, key)
+	return e.get(func() (*core.Validation, error) {
+		p, err := r.pipeline(target)
+		if err != nil {
+			return nil, err
+		}
+		a, err := r.app(target, b, c)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("projecting %s.%c@%d onto %s and validating", b, c, ck, target)
+		return p.Validate(a, ck)
+	})
+}
+
+// cellKey identifies one experiment cell of the evaluation grid.
+type cellKey struct {
+	target string
+	bench  nas.Benchmark
+	class  nas.Class
+	ck     int
+}
+
+// prewarm evaluates a set of cells on the Runner's shared worker pool,
+// stopping at the first error. Afterwards every cell is cached, so callers
+// can assemble output serially in any fixed order.
+func (r *Runner) prewarm(cells []cellKey) error {
+	return par.ForEach(r.workers(), len(cells), func(i int) error {
+		k := cells[i]
+		_, err := r.Validate(k.target, k.bench, k.class, k.ck)
+		return err
+	})
+}
+
+// benchCells is the evaluation grid of one (benchmark, target) figure.
+func benchCells(b nas.Benchmark, target string) []cellKey {
+	var cells []cellKey
+	for _, ck := range nas.PaperRankCounts(b) {
+		for _, class := range nas.Classes() {
+			cells = append(cells, cellKey{target, b, class, ck})
+		}
 	}
-	p, err := r.pipeline(target)
-	if err != nil {
-		return nil, err
+	return cells
+}
+
+// allCells is the full §4 grid in paper order, deduplicated.
+func allCells() []cellKey {
+	seen := map[cellKey]bool{}
+	var cells []cellKey
+	add := func(ks []cellKey) {
+		for _, k := range ks {
+			if !seen[k] {
+				seen[k] = true
+				cells = append(cells, k)
+			}
+		}
 	}
-	a, err := r.app(target, b, c)
-	if err != nil {
-		return nil, err
+	for _, target := range Targets() {
+		for _, b := range nas.Benchmarks() {
+			add(benchCells(b, target))
+		}
 	}
-	r.logf("projecting %s.%c@%d onto %s and validating", b, c, ck, target)
-	v, err := p.Validate(a, ck)
-	if err != nil {
-		return nil, err
-	}
-	r.validations[key] = v
-	return v, nil
+	return cells
 }
 
 // abs returns |x|.
@@ -215,10 +297,15 @@ func cell(v *core.Validation, ck int, class nas.Class) Cell {
 }
 
 // BenchFigure regenerates the figure for a benchmark on one target:
-// Figures 3–5 (BT), 7–9 (SP), or one system's bars of Figure 6 (LU).
+// Figures 3–5 (BT), 7–9 (SP), or one system's bars of Figure 6 (LU). The
+// figure's cells are evaluated on the shared worker pool and assembled in
+// the paper's (core count, class) order.
 func (r *Runner) BenchFigure(b nas.Benchmark, target string) (*Figure, error) {
 	tgt, err := arch.Get(target)
 	if err != nil {
+		return nil, err
+	}
+	if err := r.prewarm(benchCells(b, target)); err != nil {
 		return nil, err
 	}
 	f := &Figure{
@@ -239,8 +326,22 @@ func (r *Runner) BenchFigure(b nas.Benchmark, target string) (*Figure, error) {
 	return f, nil
 }
 
+// luCells is Figure 6's grid: LU-MZ at 16 ranks on every target.
+func luCells() []cellKey {
+	var cells []cellKey
+	for _, target := range Targets() {
+		for _, class := range nas.Classes() {
+			cells = append(cells, cellKey{target, nas.LU, class, 16})
+		}
+	}
+	return cells
+}
+
 // LUFigure regenerates Figure 6: LU-MZ across all three systems.
 func (r *Runner) LUFigure() (*Figure, error) {
+	if err := r.prewarm(luCells()); err != nil {
+		return nil, err
+	}
 	f := &Figure{ID: "fig6", Title: "LU Results on the three systems", Bench: nas.LU}
 	for _, target := range Targets() {
 		for _, class := range nas.Classes() {
@@ -255,8 +356,13 @@ func (r *Runner) LUFigure() (*Figure, error) {
 	return f, nil
 }
 
-// AllFigures regenerates Figures 3–9 in paper order.
+// AllFigures regenerates Figures 3–9 in paper order. The full evaluation
+// grid is computed on one shared worker pool first (every cell, across all
+// figures), then the figures are assembled serially from the cache.
 func (r *Runner) AllFigures() ([]*Figure, error) {
+	if err := r.prewarm(allCells()); err != nil {
+		return nil, err
+	}
 	var out []*Figure
 	for _, target := range Targets() {
 		f, err := r.BenchFigure(nas.BT, target)
@@ -300,8 +406,14 @@ type Summary struct {
 }
 
 // Summarize computes the paper's summary statistics over every experiment
-// cell (all benchmarks, classes, core counts, targets).
+// cell (all benchmarks, classes, core counts, targets). Cells are
+// evaluated on the shared worker pool; the statistics are then accumulated
+// in the fixed grid order, so the floating-point results are independent
+// of scheduling.
 func (r *Runner) Summarize() (*Summary, error) {
+	if err := r.prewarm(allCells()); err != nil {
+		return nil, err
+	}
 	s := &Summary{}
 	var all []float64
 	var over, total int

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -97,6 +98,71 @@ func TestValidateCachesResults(t *testing.T) {
 	}
 	if a != b {
 		t.Error("repeated validations must hit the cache (same pointer)")
+	}
+}
+
+func TestRunnerParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive in -short mode")
+	}
+	// Order-independence: a serial runner and a heavily parallel runner
+	// must emit byte-identical figures — cells are evaluated on a pool
+	// but assembled in the paper's fixed order, and every underlying
+	// measurement is a pure function of its key.
+	serial := NewRunner()
+	serial.Workers = 1
+	parallel := NewRunner()
+	parallel.Workers = 8
+
+	fs, err := serial.LUFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := parallel.LUFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fs, fp) {
+		t.Errorf("LU figure differs between serial and parallel runners:\nserial:   %+v\nparallel: %+v", fs, fp)
+	}
+
+	// Concurrent external use of one runner: hammer the same grid from
+	// many goroutines; the single-flight caches must return the shared
+	// instances.
+	var wg sync.WaitGroup
+	cells := luCells()
+	got := make([]*Figure, 4)
+	for i := range got {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := parallel.LUFigure()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = f
+		}()
+	}
+	wg.Wait()
+	for i := range got {
+		if got[i] == nil || !reflect.DeepEqual(got[i], fp) {
+			t.Fatalf("concurrent LUFigure call %d diverged", i)
+		}
+	}
+	for _, k := range cells {
+		a, err := parallel.Validate(k.target, k.bench, k.class, k.ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parallel.Validate(k.target, k.bench, k.class, k.ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatal("single-flight cache returned distinct instances")
+		}
 	}
 }
 

@@ -1,0 +1,224 @@
+package ga
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// naiveEnforceSparsity is the O(n·overflow) loop the sort-based
+// enforceSparsity replaced: repeatedly scan for the smallest nonzero gene
+// and zero it. Kept as the micro-benchmark baseline and as an oracle for
+// TestEnforceSparsityMatchesNaive.
+func naiveEnforceSparsity(g []float64, maxActive int) {
+	if maxActive <= 0 {
+		return
+	}
+	active := 0
+	for _, v := range g {
+		if v > 0 {
+			active++
+		}
+	}
+	for active > maxActive {
+		minIdx := -1
+		for i, v := range g {
+			if v > 0 && (minIdx < 0 || v < g[minIdx]) {
+				minIdx = i
+			}
+		}
+		g[minIdx] = 0
+		active--
+	}
+}
+
+// naiveTopK is the replaced O(n·k) selection sort, fitness-only ordering.
+func naiveTopK(pop []individual, k int) []individual {
+	idx := make([]int, len(pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k && i < len(idx); i++ {
+		m := i
+		for j := i + 1; j < len(idx); j++ {
+			if pop[idx[j]].fitness < pop[idx[m]].fitness {
+				m = j
+			}
+		}
+		idx[i], idx[m] = idx[m], idx[i]
+	}
+	out := make([]individual, 0, k)
+	for i := 0; i < k && i < len(idx); i++ {
+		out = append(out, pop[idx[i]])
+	}
+	return out
+}
+
+func TestEnforceSparsityMatchesNaive(t *testing.T) {
+	src := rng.New("sparsity-oracle")
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + src.Intn(40)
+		g := make([]float64, n)
+		for i := range g {
+			if src.Float64() < 0.7 {
+				g[i] = src.Float64()
+			}
+		}
+		cap := 1 + src.Intn(8)
+		a := append([]float64(nil), g...)
+		b := append([]float64(nil), g...)
+		enforceSparsity(a, cap)
+		naiveEnforceSparsity(b, cap)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d cap %d: divergence at %d:\n got %v\nwant %v", trial, cap, i, a, b)
+			}
+		}
+	}
+}
+
+func TestTopKMatchesNaiveFitnessSet(t *testing.T) {
+	// Tie-breaking differs (topK is position-stable, the selection sort
+	// was not), so compare the multiset of fitness values, which both must
+	// agree on, plus topK's own ordering guarantee.
+	src := rng.New("topk-oracle")
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + src.Intn(60)
+		pop := make([]individual, n)
+		for i := range pop {
+			// Coarse fitness values to force ties.
+			pop[i] = individual{fitness: float64(src.Intn(8))}
+		}
+		k := 1 + src.Intn(n)
+		a := topK(pop, k)
+		b := naiveTopK(pop, k)
+		for i := range a {
+			if a[i].fitness != b[i].fitness {
+				t.Fatalf("trial %d k=%d: fitness[%d] %v != naive %v", trial, k, i, a[i].fitness, b[i].fitness)
+			}
+			if i > 0 && a[i].fitness < a[i-1].fitness {
+				t.Fatalf("trial %d: topK output not sorted", trial)
+			}
+		}
+	}
+}
+
+// sparseGenome builds a dense-ish random genome of length n.
+func sparseGenome(n int, key string) []float64 {
+	src := rng.New(key)
+	g := make([]float64, n)
+	for i := range g {
+		if src.Float64() < 0.8 {
+			g[i] = src.Float64()
+		}
+	}
+	return g
+}
+
+func benchSparsity(b *testing.B, n int, fn func([]float64, int)) {
+	g := sparseGenome(n, fmt.Sprintf("bench-sparsity-%d", n))
+	buf := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, g)
+		fn(buf, 5)
+	}
+}
+
+func BenchmarkEnforceSparsity_n64(b *testing.B)      { benchSparsity(b, 64, enforceSparsity) }
+func BenchmarkEnforceSparsityNaive_n64(b *testing.B) { benchSparsity(b, 64, naiveEnforceSparsity) }
+func BenchmarkEnforceSparsity_n1024(b *testing.B)    { benchSparsity(b, 1024, enforceSparsity) }
+func BenchmarkEnforceSparsityNaive_n1024(b *testing.B) {
+	benchSparsity(b, 1024, naiveEnforceSparsity)
+}
+
+func benchTopK(b *testing.B, n, k int, fn func([]individual, int) []individual) {
+	src := rng.New(fmt.Sprintf("bench-topk-%d", n))
+	pop := make([]individual, n)
+	for i := range pop {
+		pop[i] = individual{fitness: src.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(pop, k)
+	}
+}
+
+func BenchmarkTopK_n1024k32(b *testing.B)      { benchTopK(b, 1024, 32, topK) }
+func BenchmarkTopKNaive_n1024k32(b *testing.B) { benchTopK(b, 1024, 32, naiveTopK) }
+
+// heavyFitness emulates the surrogate-search fitness shape at a cost large
+// enough for the worker pool to matter: a weighted distance over a pool of
+// metric vectors.
+func heavyFitness(poolSize, dims int) func([]float64) float64 {
+	pool := make([][]float64, poolSize)
+	for k := range pool {
+		pool[k] = sparseGenome(dims, fmt.Sprintf("pool-%d", k))
+	}
+	return func(g []float64) float64 {
+		var s float64
+		for k, w := range g {
+			if w == 0 {
+				continue
+			}
+			for _, v := range pool[k%poolSize] {
+				d := w - v
+				s += d * d * math.Sqrt(1+d*d)
+			}
+		}
+		return s
+	}
+}
+
+func benchGA(b *testing.B, workers int) {
+	cfg := Config{
+		GenomeLen: 29, MaxActive: 5,
+		PopSize: 64, Generations: 30,
+		Seed:    "bench-ga",
+		Fitness: heavyFitness(29, 512),
+		Workers: workers,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSerial(b *testing.B)   { benchGA(b, 1) }
+func BenchmarkRunParallel(b *testing.B) { benchGA(b, 0) }
+
+// BenchmarkRunSpeedup times the serial and pooled paths back to back and
+// reports the wall-clock ratio (>= ~1 on one core, approaching the core
+// count as GOMAXPROCS grows).
+func BenchmarkRunSpeedup(b *testing.B) {
+	cfg := Config{
+		GenomeLen: 29, MaxActive: 5,
+		PopSize: 64, Generations: 30,
+		Seed:    "bench-ga-speedup",
+		Fitness: heavyFitness(29, 512),
+	}
+	var serial, parallel time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := cfg
+		s.Workers = 1
+		t0 := time.Now()
+		if _, err := Run(s); err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(t0)
+		p := cfg
+		p.Workers = 0
+		t1 := time.Now()
+		if _, err := Run(p); err != nil {
+			b.Fatal(err)
+		}
+		parallel += time.Since(t1)
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+}

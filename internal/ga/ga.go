@@ -6,12 +6,25 @@
 // The implementation is a plain generational GA — tournament selection,
 // blend crossover, Gaussian mutation with activate/deactivate moves for
 // sparsity control, and elitism — fully deterministic under a string seed.
+//
+// Fitness evaluation is the hot path and is embarrassingly parallel, so Run
+// scores each generation on a bounded worker pool (Config.Workers). The
+// result is byte-identical to the serial path: every candidate genome is
+// generated serially from the seeded RNG first, and only then scored
+// concurrently, so the RNG stream — and therefore the evolution — never
+// depends on scheduling. A memoization cache keyed on genome bytes ensures
+// duplicate genomes (e.g. children that escaped both crossover and
+// mutation) are never re-scored, and keeps Result.Evaluations independent
+// of the worker count.
 package ga
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -30,18 +43,28 @@ type Config struct {
 	Elites int
 	// TournamentK is the selection tournament size (default 3).
 	TournamentK int
-	// CrossoverRate is the probability of blending two parents
-	// (default 0.9).
-	CrossoverRate float64
-	// MutationRate is the per-gene perturbation probability
-	// (default 0.15).
-	MutationRate float64
+	// CrossoverRate is the probability of blending two parents. nil means
+	// the default 0.9; use Rate(0) to disable crossover entirely (a plain
+	// 0 cannot express that — the zero value selects the default).
+	CrossoverRate *float64
+	// MutationRate is the per-gene perturbation probability. nil means
+	// the default 0.15; use Rate(0) to disable mutation entirely.
+	MutationRate *float64
 	// Seed makes the run reproducible; required.
 	Seed string
 	// Fitness scores a genome; lower is better. Genomes are always
-	// non-negative. Required.
+	// non-negative. Required. It must be a pure function of the genome
+	// and safe for concurrent calls when Workers != 1.
 	Fitness func(genome []float64) float64
+	// Workers bounds the fitness-evaluation pool: 0 (the default) means
+	// runtime.GOMAXPROCS(0), 1 selects the legacy serial path. The
+	// result is identical for every value.
+	Workers int
 }
+
+// Rate wraps a rate value for Config.CrossoverRate / Config.MutationRate,
+// making an explicit zero distinguishable from "unset, use the default".
+func Rate(v float64) *float64 { return &v }
 
 // withDefaults fills unset fields.
 func (c Config) withDefaults() (Config, error) {
@@ -66,11 +89,19 @@ func (c Config) withDefaults() (Config, error) {
 	if c.TournamentK == 0 {
 		c.TournamentK = 3
 	}
-	if c.CrossoverRate == 0 {
-		c.CrossoverRate = 0.9
+	if c.CrossoverRate == nil {
+		c.CrossoverRate = Rate(0.9)
 	}
-	if c.MutationRate == 0 {
-		c.MutationRate = 0.15
+	if c.MutationRate == nil {
+		c.MutationRate = Rate(0.15)
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"CrossoverRate", *c.CrossoverRate}, {"MutationRate", *c.MutationRate}} {
+		if math.IsNaN(r.v) || r.v < 0 || r.v > 1 {
+			return c, fmt.Errorf("ga: %s %v outside [0, 1]", r.name, r.v)
+		}
 	}
 	if c.PopSize < 4 || c.Elites >= c.PopSize || c.TournamentK < 1 {
 		return c, fmt.Errorf("ga: degenerate population configuration")
@@ -87,7 +118,9 @@ type Result struct {
 	// History records the best score per generation (including the
 	// initial population as entry 0).
 	History []float64
-	// Evaluations counts fitness calls.
+	// Evaluations counts distinct fitness calls. Memoization makes it
+	// independent of Workers: a genome already scored — in this or any
+	// earlier generation — costs nothing.
 	Evaluations int
 }
 
@@ -95,6 +128,62 @@ type Result struct {
 type individual struct {
 	genome  []float64
 	fitness float64
+}
+
+// evaluator scores genome batches on a worker pool with memoization. It is
+// used from a single goroutine; only the fitness calls it issues run
+// concurrently.
+type evaluator struct {
+	fn      func([]float64) float64
+	workers int
+	memo    map[string]float64
+	evals   int
+}
+
+// genomeKey packs a genome's float bits into a string map key.
+func genomeKey(g []float64) string {
+	b := make([]byte, 8*len(g))
+	for i, v := range g {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return string(b)
+}
+
+// scoreAll returns the fitness of each genome. Unseen genomes are deduped
+// within the batch, scored concurrently on the pool, and memoized; the
+// returned order matches the input order regardless of scheduling.
+func (e *evaluator) scoreAll(genomes [][]float64) []float64 {
+	type job struct {
+		key     string
+		genome  []float64
+		fitness float64
+	}
+	keys := make([]string, len(genomes))
+	var jobs []*job
+	pending := map[string]bool{}
+	for i, g := range genomes {
+		k := genomeKey(g)
+		keys[i] = k
+		if _, ok := e.memo[k]; ok || pending[k] {
+			continue
+		}
+		pending[k] = true
+		jobs = append(jobs, &job{key: k, genome: g})
+	}
+	e.evals += len(jobs)
+	// par.ForEach runs inline when workers <= 1 — the legacy serial path.
+	_ = par.ForEach(e.workers, len(jobs), func(i int) error {
+		jobs[i].fitness = e.fn(jobs[i].genome)
+		return nil
+	})
+	for _, j := range jobs {
+		e.memo[j.key] = j.fitness
+	}
+	out := make([]float64, len(genomes))
+	for i, k := range keys {
+		out[i] = e.memo[k]
+	}
+	return out
 }
 
 // Run evolves a population and returns the best genome found.
@@ -105,15 +194,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 	src := rng.New("ga|" + cfg.Seed)
 	res := &Result{}
-
-	eval := func(g []float64) float64 {
-		res.Evaluations++
-		return cfg.Fitness(g)
+	ev := &evaluator{
+		fn:      cfg.Fitness,
+		workers: par.Workers(cfg.Workers),
+		memo:    make(map[string]float64, cfg.PopSize*2),
 	}
 
-	// Initial population: sparse random genomes.
-	pop := make([]individual, cfg.PopSize)
-	for i := range pop {
+	// Initial population: sparse random genomes, generated serially from
+	// the seeded RNG, then scored as one batch.
+	genomes := make([][]float64, cfg.PopSize)
+	for i := range genomes {
 		g := make([]float64, cfg.GenomeLen)
 		active := cfg.MaxActive
 		if active <= 0 || active > cfg.GenomeLen {
@@ -124,7 +214,12 @@ func Run(cfg Config) (*Result, error) {
 		for _, idx := range src.Perm(cfg.GenomeLen)[:n] {
 			g[idx] = src.Float64()
 		}
-		pop[i] = individual{genome: g, fitness: eval(g)}
+		genomes[i] = g
+	}
+	fits := ev.scoreAll(genomes)
+	pop := make([]individual, cfg.PopSize)
+	for i := range pop {
+		pop[i] = individual{genome: genomes[i], fitness: fits[i]}
 	}
 
 	best := bestOf(pop)
@@ -132,20 +227,27 @@ func Run(cfg Config) (*Result, error) {
 
 	for gen := 0; gen < cfg.Generations; gen++ {
 		next := make([]individual, 0, cfg.PopSize)
-		// Elitism: copy the best unchanged.
+		// Elitism: copy the best unchanged — their fitness travels with
+		// them, so elites are never re-scored.
 		for _, e := range topK(pop, cfg.Elites) {
 			next = append(next, individual{genome: clone(e.genome), fitness: e.fitness})
 		}
-		for len(next) < cfg.PopSize {
+		// Generate every child serially first (the RNG stream must not
+		// depend on evaluation scheduling), then score them as a batch.
+		children := make([][]float64, 0, cfg.PopSize-len(next))
+		for len(next)+len(children) < cfg.PopSize {
 			a := tournament(pop, cfg.TournamentK, src)
 			b := tournament(pop, cfg.TournamentK, src)
 			child := clone(a.genome)
-			if src.Float64() < cfg.CrossoverRate {
+			if src.Float64() < *cfg.CrossoverRate {
 				blend(child, b.genome, src)
 			}
 			mutate(child, cfg, src)
 			enforceSparsity(child, cfg.MaxActive)
-			next = append(next, individual{genome: child, fitness: eval(child)})
+			children = append(children, child)
+		}
+		for i, f := range ev.scoreAll(children) {
+			next = append(next, individual{genome: children[i], fitness: f})
 		}
 		pop = next
 		if b := bestOf(pop); b.fitness < best.fitness {
@@ -155,6 +257,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.Best = best.genome
 	res.BestFitness = best.fitness
+	res.Evaluations = ev.evals
 	return res, nil
 }
 
@@ -172,24 +275,70 @@ func bestOf(pop []individual) individual {
 	return best
 }
 
-// topK returns the k fittest individuals (k small; selection sort).
+// topK returns the k fittest individuals in ascending (fitness, index)
+// order. Exact fitness ties are common — elitism and children that escape
+// both crossover and mutation fill the population with duplicates — so the
+// tie-break on position is part of the function's contract: the replaced
+// selection sort broke ties by its own swap history, which was
+// deterministic but not meaningful.
 func topK(pop []individual, k int) []individual {
-	idx := make([]int, len(pop))
-	for i := range idx {
-		idx[i] = i
+	if k > len(pop) {
+		k = len(pop)
 	}
-	for i := 0; i < k && i < len(idx); i++ {
-		m := i
-		for j := i + 1; j < len(idx); j++ {
-			if pop[idx[j]].fitness < pop[idx[m]].fitness {
-				m = j
-			}
+	if k == 0 {
+		return nil
+	}
+	// worse orders individuals by (fitness, index): a is worse than b when
+	// it would be evicted first from the elite set.
+	worse := func(a, b int) bool {
+		if pop[a].fitness != pop[b].fitness {
+			return pop[a].fitness > pop[b].fitness
 		}
-		idx[i], idx[m] = idx[m], idx[i]
+		return a > b
 	}
-	out := make([]individual, 0, k)
-	for i := 0; i < k && i < len(idx); i++ {
-		out = append(out, pop[idx[i]])
+	// Bounded max-heap of the k best seen so far: O(n log k) against the
+	// old O(n·k) selection scan, and no sort.Slice interface overhead.
+	heap := make([]int, 0, k)
+	down := func(i int) {
+		for {
+			m := i
+			if l := 2*i + 1; l < len(heap) && worse(heap[l], heap[m]) {
+				m = l
+			}
+			if r := 2*i + 2; r < len(heap) && worse(heap[r], heap[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	for i := range pop {
+		if len(heap) < k {
+			heap = append(heap, i)
+			for c := len(heap) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !worse(heap[c], heap[p]) {
+					break
+				}
+				heap[c], heap[p] = heap[p], heap[c]
+				c = p
+			}
+		} else if worse(heap[0], i) {
+			heap[0] = i
+			down(0)
+		}
+	}
+	// Pop worst-first to fill the result in ascending (fitness, index)
+	// order — exactly what a full sort-and-truncate would return.
+	out := make([]individual, len(heap))
+	for n := len(heap) - 1; n >= 0; n-- {
+		out[n] = pop[heap[0]]
+		heap[0] = heap[n]
+		heap = heap[:n]
+		down(0)
 	}
 	return out
 }
@@ -220,7 +369,7 @@ func blend(child, b []float64, src *rng.Source) {
 // activation of dormant ones and deactivation of active ones.
 func mutate(g []float64, cfg Config, src *rng.Source) {
 	for i := range g {
-		if src.Float64() >= cfg.MutationRate {
+		if src.Float64() >= *cfg.MutationRate {
 			continue
 		}
 		switch {
@@ -237,26 +386,34 @@ func mutate(g []float64, cfg Config, src *rng.Source) {
 	}
 }
 
-// enforceSparsity keeps only the maxActive largest genes.
+// enforceSparsity keeps only the maxActive largest genes: one sort of the
+// nonzero entries (value ascending, index breaking ties) and the overflow
+// is zeroed smallest-first — the same survivors as the repeated
+// minimum-scan this replaces, in O(n log n) instead of O(n·overflow).
 func enforceSparsity(g []float64, maxActive int) {
 	if maxActive <= 0 {
 		return
 	}
-	active := 0
-	for _, v := range g {
+	type gene struct {
+		v float64
+		i int
+	}
+	nz := make([]gene, 0, len(g))
+	for i, v := range g {
 		if v > 0 {
-			active++
+			nz = append(nz, gene{v, i})
 		}
 	}
-	for active > maxActive {
-		// Zero the smallest nonzero gene.
-		minIdx := -1
-		for i, v := range g {
-			if v > 0 && (minIdx < 0 || v < g[minIdx]) {
-				minIdx = i
-			}
+	if len(nz) <= maxActive {
+		return
+	}
+	sort.Slice(nz, func(a, b int) bool {
+		if nz[a].v != nz[b].v {
+			return nz[a].v < nz[b].v
 		}
-		g[minIdx] = 0
-		active--
+		return nz[a].i < nz[b].i
+	})
+	for _, z := range nz[:len(nz)-maxActive] {
+		g[z.i] = 0
 	}
 }

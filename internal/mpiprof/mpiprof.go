@@ -251,12 +251,17 @@ func (pf *Profile) RoutineShare(rt mpi.Routine) float64 {
 	return 100 * pf.RoutineAggregate(rt).Elapsed / total
 }
 
-// ClassElapsed sums MPI time per routine class across tasks.
+// ClassElapsed sums MPI time per routine class across tasks. Routines are
+// visited in the deterministic Routines() order so that the per-class
+// float accumulation never depends on map iteration order.
 func (pf *Profile) ClassElapsed() map[mpi.Class]units.Seconds {
 	out := map[mpi.Class]units.Seconds{}
-	for _, tp := range pf.Tasks {
-		for rt, rp := range tp.Routines {
-			out[mpi.ClassOf(rt)] += rp.Elapsed
+	for _, rt := range pf.Routines() {
+		cls := mpi.ClassOf(rt)
+		for _, tp := range pf.Tasks {
+			if rp, ok := tp.Routines[rt]; ok {
+				out[cls] += rp.Elapsed
+			}
 		}
 	}
 	return out

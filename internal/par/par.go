@@ -1,0 +1,125 @@
+// Package par provides the small, dependency-free concurrency primitives
+// the evaluation engine is built on: an errgroup-style Group with a
+// concurrency limit and first-error propagation, and a bounded-worker
+// ForEach for index-addressed fan-out.
+//
+// The engine's determinism contract (see DESIGN.md, "Parallelism &
+// determinism") is that concurrency never touches random-number streams or
+// floating-point accumulation order: work items are generated and combined
+// serially in a fixed order, and only the pure, independently-keyed
+// evaluations in between run on the pool. par therefore only ever executes
+// caller-supplied closures; it never reorders results — callers index into
+// pre-sized slices.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n when positive, otherwise
+// runtime.GOMAXPROCS(0). By convention across the repository, 1 selects
+// the legacy serial path.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Group runs tasks on goroutines and waits for them, propagating the first
+// error. The zero value is ready to use and imposes no concurrency limit;
+// call SetLimit before the first Go to bound it. It is a stdlib-only
+// stand-in for golang.org/x/sync/errgroup.
+type Group struct {
+	wg   sync.WaitGroup
+	sem  chan struct{}
+	once sync.Once
+	err  error
+}
+
+// SetLimit bounds the number of concurrently running tasks to n (n <= 0
+// removes the limit). It must not be called after Go.
+func (g *Group) SetLimit(n int) {
+	if n <= 0 {
+		g.sem = nil
+		return
+	}
+	g.sem = make(chan struct{}, n)
+}
+
+// Go schedules f on its own goroutine, blocking first if the concurrency
+// limit is reached. The first non-nil error wins; later errors are dropped.
+func (g *Group) Go(f func() error) {
+	if g.sem != nil {
+		g.sem <- struct{}{}
+	}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			if g.sem != nil {
+				<-g.sem
+			}
+			g.wg.Done()
+		}()
+		if err := f(); err != nil {
+			g.once.Do(func() { g.err = err })
+		}
+	}()
+}
+
+// Wait blocks until every task scheduled with Go has returned, then
+// reports the first error.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// and returns the first error. workers <= 1 (or n == 1) runs inline on the
+// calling goroutine — the legacy serial path, with no goroutine overhead
+// and early exit on error. In the concurrent path an error stops workers
+// from taking new indices, but indices already in flight complete.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		once  sync.Once
+		first error
+		stop  atomic.Bool
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					once.Do(func() { first = err })
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

@@ -1,0 +1,131 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-3); got != want {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestGroupRunsAll(t *testing.T) {
+	var g Group
+	var n atomic.Int64
+	for i := 0; i < 50; i++ {
+		g.Go(func() error {
+			n.Add(1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 50 {
+		t.Errorf("ran %d tasks, want 50", n.Load())
+	}
+}
+
+func TestGroupFirstError(t *testing.T) {
+	var g Group
+	boom := errors.New("boom")
+	g.Go(func() error { return nil })
+	g.Go(func() error { return boom })
+	g.Go(func() error { return errors.New("later") })
+	if err := g.Wait(); err == nil {
+		t.Fatal("error dropped")
+	}
+}
+
+func TestGroupLimit(t *testing.T) {
+	var g Group
+	g.SetLimit(2)
+	var cur, max atomic.Int64
+	var mu sync.Mutex
+	for i := 0; i < 20; i++ {
+		g.Go(func() error {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > max.Load() {
+				max.Store(c)
+			}
+			mu.Unlock()
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if max.Load() > 2 {
+		t.Errorf("concurrency %d exceeded limit 2", max.Load())
+	}
+}
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 137
+		seen := make([]atomic.Int64, n)
+		if err := ForEach(workers, n, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, seen[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 64, func(i int) error {
+			if i == 13 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestForEachSerialStopsEarly(t *testing.T) {
+	var ran int
+	_ = ForEach(1, 100, func(i int) error {
+		ran++
+		if i == 5 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if ran != 6 {
+		t.Errorf("serial path ran %d items after error, want 6", ran)
+	}
+}

@@ -70,6 +70,11 @@ type Request struct {
 	Bench  nas.Benchmark
 	Class  nas.Class
 	Ranks  int
+	// Workers bounds the evaluation engine's concurrency (benchmark
+	// characterisation, application profiling, the GA surrogate search):
+	// 0 means runtime.GOMAXPROCS(0), 1 forces the serial path. The
+	// projection is byte-identical for every value.
+	Workers int
 }
 
 // withDefaults validates and fills the request.
@@ -166,7 +171,7 @@ func prepare(req Request) (*core.Pipeline, *core.AppModel, error) {
 	base := arch.MustGet(req.Base)
 	target := arch.MustGet(req.Target)
 	counts := charCountsFor(req.Bench, req.Class, req.Ranks)
-	pipe, err := core.NewPipeline(base, target, counts)
+	pipe, err := core.NewPipelineOpts(base, target, counts, core.Options{Workers: req.Workers})
 	if err != nil {
 		return nil, nil, err
 	}
