@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench fuzz cover
 
 ## check: everything CI runs — vet, build, full tests, race tests.
 check: vet build test race
@@ -23,3 +23,13 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench 'Speedup|EnforceSparsity|TopK' -benchtime 1x ./...
+
+# Short mutation pass over the persistence decoders (CI runs the same).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalIMB$$' -fuzztime 10s ./internal/persist
+	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalSpec$$' -fuzztime 10s ./internal/persist
+
+# Statement coverage of the -short suite; CI enforces a 72% floor.
+cover:
+	$(GO) test -short -count=1 -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1

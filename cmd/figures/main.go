@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/figures"
 	"repro/internal/nas"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -47,6 +48,10 @@ func main() {
 		csvDir  = flag.String("csv", "", "directory to also write CSV files into")
 		quiet   = flag.Bool("q", false, "suppress progress output")
 		workers = flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS, 1 = serial); output is identical either way")
+
+		traceOut  = flag.String("trace", "", "write a JSON span trace (spans + metrics) to this file")
+		metrics   = flag.Bool("metrics", false, "print collected metrics to stderr on exit")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof, expvar and metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Var(&figs, "fig", "figure number to regenerate (repeatable, 3–9)")
 	flag.Parse()
@@ -60,8 +65,44 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Observability root: nil (zero-cost no-op) unless requested. Figures
+	// are byte-identical either way.
+	var scope *obs.Scope
+	if *traceOut != "" || *metrics || *debugAddr != "" {
+		scope = obs.New("figures")
+	}
+	if *debugAddr != "" {
+		addr, stop, err := obs.ServeDebug(*debugAddr, scope)
+		if err != nil {
+			fatal("debug server: %v", err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "figures: debug server on http://%s/debug/pprof/\n", addr)
+	}
+	defer func() {
+		scope.End()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal("%v", err)
+			}
+			werr := scope.WriteTrace(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fatal("writing trace: %v", werr)
+			}
+			fmt.Fprintf(os.Stderr, "figures: trace written to %s\n", *traceOut)
+		}
+		if *metrics {
+			scope.Metrics().WriteText(os.Stderr)
+		}
+	}()
+
 	r := figures.NewRunner()
 	r.Workers = *workers
+	r.Obs = scope
 	if !*quiet {
 		r.Verbose = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "… "+format+"\n", args...)

@@ -5,34 +5,70 @@
 // Usage:
 //
 //	swapp -bench BT-MZ -class C -ranks 64 -target power6-575 [-validate]
+//
+// Observability (see internal/obs; the projection itself is byte-identical
+// with these on or off):
+//
+//	-trace out.json   write a hierarchical JSON span trace + metrics
+//	-metrics          print the metric registry to stderr on exit
+//	-debug-addr :0    serve /debug/pprof, /debug/vars, /metrics, /trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	swapp "repro"
 	"repro/internal/nas"
-	"repro/internal/units"
+	"repro/internal/obs"
+	"repro/internal/report"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the CLI body, factored for tests: parse args, project, render.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("swapp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench    = flag.String("bench", "BT-MZ", "benchmark: BT-MZ, SP-MZ or LU-MZ")
-		class    = flag.String("class", "C", "problem class: C or D")
-		ranks    = flag.Int("ranks", 64, "target core count Ck")
-		target   = flag.String("target", swapp.TargetPower6, "target machine: "+strings.Join(swapp.MachineNames(), ", "))
-		base     = flag.String("base", swapp.BaseHydra, "base machine")
-		validate = flag.Bool("validate", false, "also run the application on the target and report the error")
-		workers  = flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS, 1 = serial); the projection is identical either way")
+		bench     = fs.String("bench", "BT-MZ", "benchmark: BT-MZ, SP-MZ or LU-MZ")
+		class     = fs.String("class", "C", "problem class: C or D")
+		ranks     = fs.Int("ranks", 64, "target core count Ck")
+		target    = fs.String("target", swapp.TargetPower6, "target machine: "+strings.Join(swapp.MachineNames(), ", "))
+		base      = fs.String("base", swapp.BaseHydra, "base machine")
+		validate  = fs.Bool("validate", false, "also run the application on the target and report the error")
+		workers   = fs.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS, 1 = serial); the projection is identical either way")
+		traceOut  = fs.String("trace", "", "write a JSON span trace (spans + metrics) to this file")
+		metrics   = fs.Bool("metrics", false, "print collected metrics to stderr on exit")
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof, expvar and metrics on this address (e.g. localhost:6060)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if len(*class) != 1 {
-		fatal("class must be a single letter (C or D)")
+		fmt.Fprintln(stderr, "swapp: class must be a single letter (C or D)")
+		return 1
 	}
+
+	// The observability root: nil (zero-cost no-op) unless requested.
+	var scope *obs.Scope
+	if *traceOut != "" || *metrics || *debugAddr != "" {
+		scope = obs.New("swapp")
+	}
+	if *debugAddr != "" {
+		addr, stop, err := obs.ServeDebug(*debugAddr, scope)
+		if err != nil {
+			fmt.Fprintf(stderr, "swapp: debug server: %v\n", err)
+			return 1
+		}
+		defer stop()
+		fmt.Fprintf(stderr, "swapp: debug server on http://%s/debug/pprof/\n", addr)
+	}
+
 	req := swapp.Request{
 		Base:    *base,
 		Target:  *target,
@@ -40,6 +76,7 @@ func main() {
 		Class:   nas.Class((*class)[0]),
 		Ranks:   *ranks,
 		Workers: *workers,
+		Obs:     scope,
 	}
 
 	var res *swapp.Result
@@ -49,46 +86,32 @@ func main() {
 	} else {
 		res, err = swapp.Project(req)
 	}
+	scope.End()
 	if err != nil {
-		fatal("%v", err)
+		fmt.Fprintf(stderr, "swapp: %v\n", err)
+		return 1
 	}
 
-	p := res.Projection
-	fmt.Println(res)
-	fmt.Printf("\ncompute component:\n")
-	fmt.Printf("  characterised at Ci=%d, γ=%.3f (CCSM)\n", p.Compute.CharCount, p.Gamma)
-	if p.HyperScaled {
-		fmt.Printf("  ACSM: cache-footprint transition at Ch≈%.0f cores (hyper-scaling regime)\n", p.ACSM.Ch)
-	}
-	fmt.Printf("  metric-group ranking (most significant first): G%d G%d G%d G%d G%d G%d\n",
-		p.Compute.Ranking[0], p.Compute.Ranking[1], p.Compute.Ranking[2],
-		p.Compute.Ranking[3], p.Compute.Ranking[4], p.Compute.Ranking[5])
-	fmt.Printf("  surrogate (Eq. 2):\n")
-	for _, term := range p.Compute.Surrogate {
-		fmt.Printf("    %-18s w=%.4f\n", term.Bench, term.Weight)
-	}
-	fmt.Printf("\ncommunication component (Eq. 5/6, per task):\n")
-	fmt.Printf("  %-14s %10s %12s %12s %12s\n", "routine", "calls", "T_transfer", "T_wait", "T_elapsed")
-	for _, rp := range p.Comm.Routines {
-		fmt.Printf("  %-14s %10.1f %12s %12s %12s\n",
-			rp.Routine, rp.Calls,
-			units.FormatSeconds(rp.TargetTransfer),
-			units.FormatSeconds(rp.TargetWait),
-			units.FormatSeconds(rp.TargetElapsed()))
-	}
-	if res.Validation != nil {
-		v := res.Validation
-		fmt.Printf("\nvalidation against the measured run:\n")
-		fmt.Printf("  combined    %+7.2f%%\n", v.ErrCombined)
-		fmt.Printf("  computation %+7.2f%%\n", v.ErrCompute)
-		fmt.Printf("  comm        %+7.2f%%\n", v.ErrComm)
-		for cls, e := range v.ErrByClass {
-			fmt.Printf("  %-11s %+7.2f%%\n", cls, e)
+	fmt.Fprint(stdout, report.Projection(res.Projection, res.Validation))
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "swapp: %v\n", err)
+			return 1
 		}
+		werr := scope.WriteTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "swapp: writing trace: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(stderr, "swapp: trace written to %s\n", *traceOut)
 	}
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "swapp: "+format+"\n", args...)
-	os.Exit(1)
+	if *metrics {
+		scope.Metrics().WriteText(stderr)
+	}
+	return 0
 }

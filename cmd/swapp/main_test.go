@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// referenceFile is the repository's pinned evaluation output.
+const referenceFile = "../../docs/evaluation_reference.txt"
+
+// goldenCommands parses the "swapp CLI reference output" section of the
+// reference file into (argv, expected stdout) pairs. Each block starts with
+// a "$ swapp ..." line and runs until the next one (or EOF); blank padding
+// between blocks is not part of the pinned output.
+func goldenCommands(t *testing.T) (cases [][2]string) {
+	t.Helper()
+	data, err := os.ReadFile(referenceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	for i := 0; i < len(lines); i++ {
+		if !strings.HasPrefix(lines[i], "$ swapp ") {
+			continue
+		}
+		args := strings.TrimPrefix(lines[i], "$ swapp ")
+		var out []string
+		for j := i + 1; j < len(lines) && !strings.HasPrefix(lines[j], "$ swapp "); j++ {
+			out = append(out, lines[j])
+			i = j
+		}
+		cases = append(cases, [2]string{args, strings.TrimRight(strings.Join(out, "\n"), "\n")})
+	}
+	if len(cases) == 0 {
+		t.Fatalf("no '$ swapp' golden blocks found in %s", referenceFile)
+	}
+	return cases
+}
+
+// TestGoldenOutput pins the CLI's report for every command recorded in the
+// reference file: all three benchmarks at one rank count. The engine is
+// deterministic, so any drift here is a behaviour change that must be
+// deliberate (regenerate the section in docs/evaluation_reference.txt).
+func TestGoldenOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full projections take ~20s; skipped with -short")
+	}
+	for _, c := range goldenCommands(t) {
+		args, want := strings.Fields(c[0]), c[1]
+		t.Run(c[0], func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(args, &stdout, &stderr); code != 0 {
+				t.Fatalf("run(%q) = %d, stderr:\n%s", args, code, stderr.String())
+			}
+			got := strings.TrimRight(stdout.String(), "\n")
+			if got != want {
+				t.Errorf("output drifted from %s.\ngot:\n%s\nwant:\n%s", referenceFile, got, want)
+			}
+		})
+	}
+}
+
+// checkSpan recursively verifies the trace invariants for a serial
+// (-workers 1) run: every child lies within its parent's window and each
+// span's direct children durations sum to no more than the span's own.
+// Offsets are truncated to whole µs on export, so containment gets 1µs of
+// slack per comparison.
+func checkSpan(t *testing.T, s *obs.SpanData) {
+	t.Helper()
+	var sum int64
+	for _, c := range s.Spans {
+		if c.StartUS+1 < s.StartUS || c.StartUS+c.DurUS > s.StartUS+s.DurUS+1 {
+			t.Errorf("span %s [%d,+%d] escapes parent %s [%d,+%d]",
+				c.Name, c.StartUS, c.DurUS, s.Name, s.StartUS, s.DurUS)
+		}
+		sum += c.DurUS
+		checkSpan(t, c)
+	}
+	if sum > s.DurUS {
+		t.Errorf("span %s: children durations sum to %dµs > own %dµs", s.Name, sum, s.DurUS)
+	}
+}
+
+// TestTraceOutput runs a projection with -trace and asserts the emitted
+// file is a valid JSON trace whose root span bounds its children, and whose
+// metrics carry the engine's counters.
+func TestTraceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full projection; skipped with -short")
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	args := []string{"-bench", "LU-MZ", "-class", "C", "-ranks", "16",
+		"-target", "power6-575", "-workers", "1", "-trace", path}
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%q) = %d, stderr:\n%s", args, code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr obs.TraceJSON
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tr.Root == nil || tr.Root.Name != "swapp" {
+		t.Fatalf("unexpected trace root: %+v", tr.Root)
+	}
+	if tr.Root.DurUS <= 0 || len(tr.Root.Spans) == 0 {
+		t.Fatalf("root span empty: dur=%dµs, %d children", tr.Root.DurUS, len(tr.Root.Spans))
+	}
+	checkSpan(t, tr.Root)
+	// The engine's stage spans and counters must be present.
+	names := map[string]bool{}
+	var walk func(*obs.SpanData)
+	walk = func(s *obs.SpanData) {
+		names[s.Name] = true
+		for _, c := range s.Spans {
+			walk(c)
+		}
+	}
+	walk(tr.Root)
+	for _, want := range []string{"core.pipeline.hydra->power6-575", "core.characterize.LU-MZ.C", "core.project.LU-MZ.C@16", "ga.run"} {
+		if !names[want] {
+			t.Errorf("trace is missing span %q", want)
+		}
+	}
+	for _, counter := range []string{"ga.evaluations", "ga.generations", "core.projections"} {
+		v, ok := tr.Metrics.Counter(counter)
+		if !ok || v <= 0 {
+			t.Errorf("trace metrics missing counter %q (got %d, %v)", counter, v, ok)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/imb"
 	"repro/internal/mpi"
 	"repro/internal/mpiprof"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -82,6 +83,13 @@ const waitBlend = 0.8
 // both machines. computeRatio is the surrogate-projected target/base
 // compute-time ratio, needed for the WaitTime scaling factor.
 func (p *Pipeline) ProjectComm(app *AppModel, ck int, computeRatio float64) (*CommProjection, error) {
+	return p.projectComm(p.Obs, app, ck, computeRatio)
+}
+
+// projectComm is the implementation, with its span attached under parent.
+func (p *Pipeline) projectComm(parent *obs.Scope, app *AppModel, ck int, computeRatio float64) (*CommProjection, error) {
+	sp := parent.Child(fmt.Sprintf("core.comm.%s@%d", app.Name(), ck))
+	defer sp.End()
 	prof, ok := app.Profiles[ck]
 	if !ok {
 		return nil, fmt.Errorf("core: no base profile at %d ranks for %s", ck, app.Name())
@@ -153,6 +161,16 @@ func (p *Pipeline) ProjectComm(app *AppModel, ck int, computeRatio float64) (*Co
 	sort.Slice(out.Routines, func(a, b int) bool {
 		return out.Routines[a].Routine < out.Routines[b].Routine
 	})
+	// Per-routine communication seconds: histograms accumulate across the
+	// projection's core counts, so a -metrics dump shows where projected
+	// communication time concentrates.
+	if sp.Enabled() {
+		for _, rp := range out.Routines {
+			sp.Observe("core.comm.target_seconds."+string(rp.Routine), rp.TargetElapsed())
+			sp.Observe("core.comm.base_seconds."+string(rp.Routine), rp.BaseElapsed)
+		}
+		sp.Count("core.comm_projections", 1)
+	}
 	return out, nil
 }
 

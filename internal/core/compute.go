@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ga"
 	"repro/internal/hpm"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/spec"
 	"repro/internal/stats"
@@ -244,6 +245,13 @@ func (p *Pipeline) ProjectCompute(app *AppModel, ci int) (*ComputeProjection, er
 
 // ProjectComputeOpts is ProjectCompute with ablation switches.
 func (p *Pipeline) ProjectComputeOpts(app *AppModel, ci int, opts ComputeOptions) (*ComputeProjection, error) {
+	return p.projectComputeOpts(p.Obs, app, ci, opts)
+}
+
+// projectComputeOpts is the implementation, with its span attached under
+// parent (p.Obs for direct calls, the enclosing projection's span when
+// called from project).
+func (p *Pipeline) projectComputeOpts(parent *obs.Scope, app *AppModel, ci int, opts ComputeOptions) (*ComputeProjection, error) {
 	cp, ok := app.Counters[ci]
 	if !ok {
 		return nil, fmt.Errorf("core: no counters at %d ranks for %s", ci, app.Name())
@@ -306,9 +314,13 @@ func (p *Pipeline) ProjectComputeOpts(app *AppModel, ci int, opts ComputeOptions
 	// pipeline's pool; their results are combined serially in member
 	// order, keeping the floating-point accumulation — and therefore the
 	// projection — identical to the serial path.
+	sp := parent.Child(fmt.Sprintf("core.compute.%s@%d", app.Name(), ci))
+	defer sp.End()
 	const ensemble = 3
 	members := make([]*ga.Result, ensemble)
-	err := par.ForEach(par.Workers(p.Workers), ensemble, func(e int) error {
+	err := par.ForEachW(par.Workers(p.Workers), ensemble, func(w, e int) error {
+		ms := sp.ChildW(fmt.Sprintf("ga.member.%d", e), w)
+		defer ms.End()
 		res, err := ga.Run(ga.Config{
 			GenomeLen: len(names),
 			MaxActive: surrogateMaxSize,
@@ -317,6 +329,7 @@ func (p *Pipeline) ProjectComputeOpts(app *AppModel, ci int, opts ComputeOptions
 			// The ensemble is already fanned out; keep each member's
 			// own evaluation serial to avoid oversubscription.
 			Workers: 1,
+			Obs:     ms,
 		})
 		if err != nil {
 			return err
@@ -382,6 +395,8 @@ func (p *Pipeline) ProjectComputeOpts(app *AppModel, ci int, opts ComputeOptions
 		GroupWeights: groupW,
 		Ranking:      rankingOf(groupW),
 	}
+	sp.Count("core.compute_projections", 1)
+	sp.Observe("core.compute_ratio", proj.SpeedupRatio())
 	return proj, nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"repro/internal/imb"
 	"repro/internal/mpiprof"
 	"repro/internal/nas"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/spec"
 	"repro/internal/units"
@@ -43,6 +44,11 @@ type Pipeline struct {
 	// 1 the serial path. Results are identical for every value.
 	Workers int
 
+	// Obs, when non-nil, receives spans and metrics for every stage run
+	// through this pipeline (construction, characterisation, projection).
+	// Observability never alters results (see internal/obs).
+	Obs *obs.Scope
+
 	// SPEC CPU2006: counters + runtimes on the base, runtimes on the
 	// target (the paper uses published target numbers).
 	SpecBase   map[string]spec.Result
@@ -59,6 +65,9 @@ type Options struct {
 	// of later projections through this pipeline: 0 means
 	// runtime.GOMAXPROCS(0), 1 the legacy serial path.
 	Workers int
+	// Obs, when non-nil, instruments the pipeline (spans + metrics). nil —
+	// the default — is the zero-cost disabled layer.
+	Obs *obs.Scope
 }
 
 // NewPipeline gathers benchmark data for a machine pair at the given job
@@ -79,16 +88,22 @@ func NewPipelineOpts(base, target *arch.Machine, rankCounts []int, opts Options)
 		Base:      base,
 		Target:    target,
 		Workers:   opts.Workers,
+		Obs:       opts.Obs,
 		IMBBase:   map[int]*imb.Table{},
 		IMBTarget: map[int]*imb.Table{},
 	}
 	counts := uniqueSorted(rankCounts)
+
+	sp := opts.Obs.Child(fmt.Sprintf("core.pipeline.%s->%s", base.Name, target.Name))
+	defer sp.End()
 
 	var g par.Group
 	g.SetLimit(par.Workers(opts.Workers))
 	// Base-side SPEC runs carry measurement noise (we ran them); the
 	// target numbers are published averages — modelled as noisy too.
 	g.Go(func() error {
+		c := sp.Child("spec." + base.Name)
+		defer c.End()
 		var err error
 		if p.SpecBase, err = spec.RunSuite(base, true); err != nil {
 			return fmt.Errorf("core: SPEC on base: %w", err)
@@ -96,6 +111,8 @@ func NewPipelineOpts(base, target *arch.Machine, rankCounts []int, opts Options)
 		return nil
 	})
 	g.Go(func() error {
+		c := sp.Child("spec." + target.Name)
+		defer c.End()
 		var err error
 		if p.SpecTarget, err = spec.RunSuite(target, true); err != nil {
 			return fmt.Errorf("core: SPEC on target: %w", err)
@@ -107,6 +124,8 @@ func NewPipelineOpts(base, target *arch.Machine, rankCounts []int, opts Options)
 	for i, c := range counts {
 		i, c := i, c
 		g.Go(func() error {
+			s := sp.Child(fmt.Sprintf("imb.%s.%d", base.Name, c))
+			defer s.End()
 			tb, err := imb.Run(base, c, nil)
 			if err != nil {
 				return fmt.Errorf("core: IMB on base at %d ranks: %w", c, err)
@@ -115,6 +134,8 @@ func NewPipelineOpts(base, target *arch.Machine, rankCounts []int, opts Options)
 			return nil
 		})
 		g.Go(func() error {
+			s := sp.Child(fmt.Sprintf("imb.%s.%d", target.Name, c))
+			defer s.End()
 			tt, err := imb.Run(target, c, nil)
 			if err != nil {
 				return fmt.Errorf("core: IMB on target at %d: %w", c, err)
@@ -206,13 +227,18 @@ func (p *Pipeline) CharacterizeApp(b nas.Benchmark, c nas.Class, counts []int) (
 		Counters: map[int]*CounterPair{},
 	}
 	sort.Ints(app.Counts)
+	sp := p.Obs.Child("core.characterize." + app.Name())
+	defer sp.End()
 	// Each core count's profile + counter runs are independent pure
 	// functions of (machine, workload, ranks) keys; fan them out and
-	// collect by index.
+	// collect by index. The worker slot lands on the span, so a trace
+	// shows how well the pool was utilised.
 	profiles := make([]*mpiprof.Profile, len(app.Counts))
 	pairs := make([]*CounterPair, len(app.Counts))
-	err := par.ForEach(par.Workers(p.Workers), len(app.Counts), func(i int) error {
+	err := par.ForEachW(par.Workers(p.Workers), len(app.Counts), func(w, i int) error {
 		ranks := app.Counts[i]
+		s := sp.ChildW(fmt.Sprintf("profile.%d", ranks), w)
+		defer s.End()
 		inst, err := nas.New(nas.Config{Bench: b, Class: c, Ranks: ranks})
 		if err != nil {
 			return err

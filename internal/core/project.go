@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/nas"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/units"
 )
@@ -43,9 +44,17 @@ type Projection struct {
 // and the communication component is extrapolated across the profiled
 // counts' projections (the MPI scaling model).
 func (p *Pipeline) Project(app *AppModel, ck int) (*Projection, error) {
+	return p.project(p.Obs, app, ck)
+}
+
+// project is the implementation; its span — and those of the compute and
+// communication sub-projections — nest under parent.
+func (p *Pipeline) project(parent *obs.Scope, app *AppModel, ck int) (*Projection, error) {
+	sp := parent.Child(fmt.Sprintf("core.project.%s@%d", app.Name(), ck))
+	defer sp.End()
 	ci := app.nearestCount(ck)
 
-	comp, err := p.ProjectCompute(app, ci)
+	comp, err := p.projectComputeOpts(sp, app, ci, ComputeOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +77,7 @@ func (p *Pipeline) Project(app *AppModel, ck int) (*Projection, error) {
 	}
 
 	if _, profiled := app.Profiles[ck]; profiled {
-		comm, err := p.ProjectComm(app, ck, comp.SpeedupRatio())
+		comm, err := p.projectComm(sp, app, ck, comp.SpeedupRatio())
 		if err != nil {
 			return nil, err
 		}
@@ -80,7 +89,7 @@ func (p *Pipeline) Project(app *AppModel, ck int) (*Projection, error) {
 		var xs, ys []float64
 		var last *CommProjection
 		for _, c := range app.Counts {
-			comm, err := p.ProjectComm(app, c, comp.SpeedupRatio())
+			comm, err := p.projectComm(sp, app, c, comp.SpeedupRatio())
 			if err != nil {
 				return nil, err
 			}
@@ -105,6 +114,10 @@ func (p *Pipeline) Project(app *AppModel, ck int) (*Projection, error) {
 	}
 
 	proj.Total = proj.ComputeTime + proj.CommTime
+	sp.Count("core.projections", 1)
+	sp.Observe("core.projected_total_seconds", proj.Total)
+	sp.Observe("core.projected_compute_seconds", proj.ComputeTime)
+	sp.Observe("core.projected_comm_seconds", proj.CommTime)
 	return proj, nil
 }
 
@@ -146,11 +159,15 @@ func pctErr(projected, measured units.Seconds) float64 {
 // target machine (the step SWAPP's users cannot do — this is the
 // reproduction's ground truth), returning both sides with errors.
 func (p *Pipeline) Validate(app *AppModel, ck int) (*Validation, error) {
-	proj, err := p.Project(app, ck)
+	sp := p.Obs.Child(fmt.Sprintf("core.validate.%s@%d", app.Name(), ck))
+	defer sp.End()
+	proj, err := p.project(sp, app, ck)
 	if err != nil {
 		return nil, err
 	}
+	ms := sp.Child("measured-run." + p.Target.Name)
 	res, err := nas.Run(nas.Config{Bench: app.Bench, Class: app.Class, Ranks: ck}, p.Target)
+	ms.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: measured run on %s: %w", p.Target.Name, err)
 	}

@@ -20,11 +20,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/nas"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/stats"
 )
@@ -119,6 +121,11 @@ type Runner struct {
 	// 0 means runtime.GOMAXPROCS(0), 1 the legacy serial path. Output is
 	// identical for every value.
 	Workers int
+	// Obs, when non-nil, instruments the evaluation: per-cell spans and
+	// timings (figures.cell_seconds), pipeline and characterisation spans
+	// via the underlying core.Pipeline, and the GA's counters. Figures are
+	// byte-identical with Obs set or nil.
+	Obs *obs.Scope
 
 	mu          sync.Mutex // guards the cache maps
 	logMu       sync.Mutex // serialises Verbose calls
@@ -175,7 +182,7 @@ func (r *Runner) pipeline(target string) (*core.Pipeline, error) {
 			list = append(list, c)
 		}
 		sort.Ints(list)
-		return core.NewPipelineOpts(base, tgt, list, core.Options{Workers: r.Workers})
+		return core.NewPipelineOpts(base, tgt, list, core.Options{Workers: r.Workers, Obs: r.Obs})
 	})
 }
 
@@ -210,6 +217,9 @@ func (r *Runner) Validate(target string, b nas.Benchmark, c nas.Class, ck int) (
 	key := fmt.Sprintf("%s|%s|%c|%d", target, b, c, ck)
 	e := cellFor(&r.mu, r.validations, key)
 	return e.get(func() (*core.Validation, error) {
+		sp := r.Obs.Child("figures.cell." + key)
+		defer sp.End()
+		start := time.Now()
 		p, err := r.pipeline(target)
 		if err != nil {
 			return nil, err
@@ -219,7 +229,12 @@ func (r *Runner) Validate(target string, b nas.Benchmark, c nas.Class, ck int) (
 			return nil, err
 		}
 		r.logf("projecting %s.%c@%d onto %s and validating", b, c, ck, target)
-		return p.Validate(a, ck)
+		v, err := p.Validate(a, ck)
+		if err == nil && sp.Enabled() {
+			sp.Count("figures.cells", 1)
+			sp.Observe("figures.cell_seconds", time.Since(start).Seconds())
+		}
+		return v, err
 	})
 }
 

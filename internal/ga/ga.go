@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
 )
@@ -60,6 +62,11 @@ type Config struct {
 	// runtime.GOMAXPROCS(0), 1 selects the legacy serial path. The
 	// result is identical for every value.
 	Workers int
+	// Obs, when non-nil, receives a "ga.run" span and the run's metrics
+	// (ga.evaluations, ga.cache_hits, ga.generations, ga.best_fitness,
+	// ga.generation_seconds). Observability never alters the evolution:
+	// the result is byte-identical with Obs set or nil.
+	Obs *obs.Scope
 }
 
 // Rate wraps a rate value for Config.CrossoverRate / Config.MutationRate,
@@ -122,6 +129,10 @@ type Result struct {
 	// independent of Workers: a genome already scored — in this or any
 	// earlier generation — costs nothing.
 	Evaluations int
+	// CacheHits counts genome scores served by the memo instead of a
+	// fitness call (duplicates within a batch count as hits).
+	// Evaluations + CacheHits is the total number of scores requested.
+	CacheHits int
 }
 
 // individual pairs a genome with its cached score.
@@ -138,6 +149,8 @@ type evaluator struct {
 	workers int
 	memo    map[string]float64
 	evals   int
+	hits    int
+	obs     *obs.Scope
 }
 
 // genomeKey packs a genome's float bits into a string map key.
@@ -171,6 +184,11 @@ func (e *evaluator) scoreAll(genomes [][]float64) []float64 {
 		jobs = append(jobs, &job{key: k, genome: g})
 	}
 	e.evals += len(jobs)
+	e.hits += len(genomes) - len(jobs)
+	// Batch-level counters only: the per-evaluation hot path stays
+	// untouched, so the disabled layer costs two nil checks per batch.
+	e.obs.Count("ga.evaluations", int64(len(jobs)))
+	e.obs.Count("ga.cache_hits", int64(len(genomes)-len(jobs)))
 	// par.ForEach runs inline when workers <= 1 — the legacy serial path.
 	_ = par.ForEach(e.workers, len(jobs), func(i int) error {
 		jobs[i].fitness = e.fn(jobs[i].genome)
@@ -192,12 +210,16 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := cfg.Obs.Child("ga.run")
+	defer sp.End()
+
 	src := rng.New("ga|" + cfg.Seed)
 	res := &Result{}
 	ev := &evaluator{
 		fn:      cfg.Fitness,
 		workers: par.Workers(cfg.Workers),
 		memo:    make(map[string]float64, cfg.PopSize*2),
+		obs:     sp,
 	}
 
 	// Initial population: sparse random genomes, generated serially from
@@ -225,7 +247,12 @@ func Run(cfg Config) (*Result, error) {
 	best := bestOf(pop)
 	res.History = append(res.History, best.fitness)
 
+	obsOn := sp.Enabled()
 	for gen := 0; gen < cfg.Generations; gen++ {
+		var genStart time.Time
+		if obsOn {
+			genStart = time.Now()
+		}
 		next := make([]individual, 0, cfg.PopSize)
 		// Elitism: copy the best unchanged — their fitness travels with
 		// them, so elites are never re-scored.
@@ -254,10 +281,19 @@ func Run(cfg Config) (*Result, error) {
 			best = individual{genome: clone(b.genome), fitness: b.fitness}
 		}
 		res.History = append(res.History, best.fitness)
+		if obsOn {
+			// Per-generation stats: wall time and running best, both
+			// order-independent aggregates.
+			sp.Count("ga.generations", 1)
+			sp.Observe("ga.generation_seconds", time.Since(genStart).Seconds())
+			sp.Observe("ga.generation_best", best.fitness)
+		}
 	}
 	res.Best = best.genome
 	res.BestFitness = best.fitness
 	res.Evaluations = ev.evals
+	res.CacheHits = ev.hits
+	sp.Observe("ga.best_fitness", res.BestFitness)
 	return res, nil
 }
 

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-wide expvar publication: expvar.Publish
+// panics on duplicate names, and tests may start several debug servers.
+var expvarOnce sync.Once
+
+// publishExpvar exposes the scope's metric snapshot under the standard
+// /debug/vars endpoint as one composite var. Later calls for other scopes
+// are no-ops — expvar is process-global, so the first long-running scope
+// wins; dedicated /metrics endpoints exist per server.
+func publishExpvar(s *Scope) {
+	expvarOnce.Do(func() {
+		expvar.Publish("swapp.metrics", expvar.Func(func() any { return s.Metrics() }))
+	})
+}
+
+// DebugHandler serves the long-run debugging surface for a scope:
+//
+//	/debug/pprof/*  net/http/pprof profiles
+//	/debug/vars     expvar (includes swapp.metrics)
+//	/metrics        the scope's metric snapshot, plain text
+//	/metrics.json   the same snapshot as JSON
+//	/trace.json     a live snapshot of the span tree + metrics
+func DebugHandler(s *Scope) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = s.Metrics().WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, s.Metrics())
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.WriteTrace(w)
+	})
+	return mux
+}
+
+// writeJSON marshals v onto w (indented); errors surface as a 500.
+func writeJSON(w http.ResponseWriter, v any) {
+	if err := jsonIndent(w, v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// jsonIndent writes v as indented JSON.
+func jsonIndent(w io.Writer, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// ServeDebug starts an HTTP debug server for the scope on addr (host:port;
+// :0 picks a free port). It returns the bound address and a stop function.
+// Intended for the CLIs' -debug-addr flag on long evaluation runs.
+func ServeDebug(addr string, s *Scope) (bound string, stop func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	publishExpvar(s)
+	srv := &http.Server{Handler: DebugHandler(s)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

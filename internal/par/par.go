@@ -82,12 +82,21 @@ func (g *Group) Wait() error {
 // and early exit on error. In the concurrent path an error stops workers
 // from taking new indices, but indices already in flight complete.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachW(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachW is ForEach with the executing worker's pool slot passed to fn —
+// the hook observability layers use to attribute spans to workers. Slots
+// number 0..min(workers,n)-1; the inline serial path is slot 0. Which slot
+// runs which index is scheduling-dependent; everything else about the
+// contract matches ForEach.
+func ForEachW(workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -105,6 +114,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		w := w
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
@@ -112,7 +122,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(w, i); err != nil {
 					once.Do(func() { first = err })
 					stop.Store(true)
 					return

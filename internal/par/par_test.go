@@ -116,6 +116,51 @@ func TestForEachPropagatesError(t *testing.T) {
 	}
 }
 
+func TestForEachWWorkerSlots(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		n := 64
+		slots := workers
+		if slots > n {
+			slots = n
+		}
+		var perSlot = make([]atomic.Int64, slots)
+		var covered = make([]atomic.Int64, n)
+		if err := ForEachW(workers, n, func(w, i int) error {
+			if w < 0 || w >= slots {
+				t.Errorf("workers=%d: slot %d out of range [0,%d)", workers, w, slots)
+			}
+			perSlot[w].Add(1)
+			covered[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for i := range perSlot {
+			total += perSlot[i].Load()
+		}
+		if total != int64(n) {
+			t.Errorf("workers=%d: slots ran %d items, want %d", workers, total, n)
+		}
+		for i := range covered {
+			if covered[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, covered[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachWSerialIsSlotZero(t *testing.T) {
+	if err := ForEachW(1, 10, func(w, i int) error {
+		if w != 0 {
+			t.Errorf("serial path reported slot %d at index %d", w, i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestForEachSerialStopsEarly(t *testing.T) {
 	var ran int
 	_ = ForEach(1, 100, func(i int) error {

@@ -1,0 +1,146 @@
+package persist
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/imb"
+	"repro/internal/spec"
+	"repro/internal/units"
+)
+
+// seedIMB produces a real marshalled table for the fuzz corpus.
+func seedIMB(tb testing.TB) []byte {
+	tb.Helper()
+	t, err := imb.Run(arch.MustGet(arch.Hydra), 4, units.Pow2Sizes(64, 4*units.KiB))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	data, err := MarshalIMB(t)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzUnmarshalIMB asserts the decoder's contract on arbitrary input: it
+// either rejects the bytes or returns a table whose invariants hold and
+// which re-marshals stably (marshal∘unmarshal is idempotent after one
+// normalising round trip).
+func FuzzUnmarshalIMB(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add(seedIMB(f))
+	// Corruption the decoder must catch, not load.
+	f.Add([]byte(`{"machine":"m","ranks":4,"sizes":[8,4]}`))
+	f.Add([]byte(`{"machine":"m","ranks":4,"sizes":[-1]}`))
+	f.Add([]byte(`{"machine":"m","ranks":4,"sizes":[4],"per_op":[{"routine":"MPI_Bcast","samples":[{"bytes":4,"seconds":-1}]}]}`))
+	f.Add([]byte(`{"machine":"m","ranks":4,"sizes":[4],"per_op":[{"routine":"MPI_Bcast","samples":[]},{"routine":"MPI_Bcast","samples":[]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := UnmarshalIMB(data)
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		// Accepted tables must satisfy the documented invariants.
+		if tab.Machine == "" || tab.Ranks < 2 || len(tab.Sizes) == 0 {
+			t.Fatalf("accepted incomplete table: %+v", tab)
+		}
+		prev := units.Bytes(0)
+		for _, s := range tab.Sizes {
+			if s <= prev {
+				t.Fatalf("accepted non-monotone size grid: %v", tab.Sizes)
+			}
+			prev = s
+		}
+		for rt, samples := range tab.PerOp {
+			for size, sec := range samples {
+				if size < 0 || sec < 0 || math.IsNaN(sec) || math.IsInf(sec, 0) {
+					t.Fatalf("accepted bad sample %s@%d: %v", rt, size, sec)
+				}
+			}
+		}
+		for _, fit := range []imb.NBFit{tab.NBIntra, tab.NBInter} {
+			if fit.Overhead < 0 || math.IsNaN(fit.Overhead) || math.IsInf(fit.Overhead, 0) {
+				t.Fatalf("accepted bad NB overhead: %v", fit.Overhead)
+			}
+		}
+		// Round trip: an accepted table re-encodes, re-decodes, and the
+		// second encoding is byte-identical (canonical form is a fixpoint).
+		enc1, err := MarshalIMB(tab)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted table failed: %v", err)
+		}
+		tab2, err := UnmarshalIMB(enc1)
+		if err != nil {
+			t.Fatalf("decoder rejected its own encoder's output: %v\n%s", err, enc1)
+		}
+		enc2, err := MarshalIMB(tab2)
+		if err != nil {
+			t.Fatalf("second re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical encoding is not a fixpoint:\n%s\nvs\n%s", enc1, enc2)
+		}
+	})
+}
+
+// seedSpec produces a real marshalled SPEC suite for the fuzz corpus.
+func seedSpec(tb testing.TB) []byte {
+	tb.Helper()
+	res, err := spec.RunSuite(arch.MustGet(arch.Hydra), false)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	data, err := MarshalSpec(arch.Hydra, res)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzUnmarshalSpec is the same contract for the SPEC decoder.
+func FuzzUnmarshalSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`garbage`))
+	f.Add(seedSpec(f))
+	f.Add([]byte(`{"machine":"m","results":[{"bench":"a"},{"bench":"a"}]}`))
+	f.Add([]byte(`{"machine":"m","results":[{"bench":"a","st":{"CPICompletion":-1}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		machine, res, err := UnmarshalSpec(data)
+		if err != nil {
+			return
+		}
+		if machine == "" || len(res) == 0 {
+			t.Fatalf("accepted incomplete suite: %q, %d results", machine, len(res))
+		}
+		for name, r := range res {
+			if name == "" || r.Bench != name {
+				t.Fatalf("result key %q does not match bench %q", name, r.Bench)
+			}
+			for _, c := range []float64{r.ST.CPICompletion, r.SMT.CPICompletion, r.ST.Runtime, r.SMT.Runtime} {
+				if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+					t.Fatalf("accepted bad counter value %v in %s", c, name)
+				}
+			}
+		}
+		enc1, err := MarshalSpec(machine, res)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted suite failed: %v", err)
+		}
+		m2, res2, err := UnmarshalSpec(enc1)
+		if err != nil {
+			t.Fatalf("decoder rejected its own encoder's output: %v\n%s", err, enc1)
+		}
+		enc2, err := MarshalSpec(m2, res2)
+		if err != nil {
+			t.Fatalf("second re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical encoding is not a fixpoint:\n%s\nvs\n%s", enc1, enc2)
+		}
+	})
+}

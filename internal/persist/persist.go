@@ -12,6 +12,7 @@ package persist
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/hpm"
@@ -85,7 +86,39 @@ func MarshalIMB(t *imb.Table) ([]byte, error) {
 	return json.MarshalIndent(j, "", "  ")
 }
 
-// UnmarshalIMB decodes an IMB table.
+// checkSamples validates one sweep: sizes non-negative (MPI_Barrier has no
+// message size and is recorded at 0 bytes) and strictly increasing, seconds
+// finite and non-negative. The ordering matters — downstream interpolation
+// binary-searches the sorted sample list, and duplicates would silently
+// collapse when rebuilt into a map.
+func checkSamples(what string, es []sizeEntry) error {
+	prev := units.Bytes(-1)
+	for i, e := range es {
+		if e.Bytes < 0 || e.Bytes <= prev {
+			return fmt.Errorf("persist: %s: sample %d: sizes must be non-negative and strictly increasing (%d after %d)",
+				what, i, e.Bytes, prev)
+		}
+		if math.IsNaN(e.Seconds) || math.IsInf(e.Seconds, 0) || e.Seconds < 0 {
+			return fmt.Errorf("persist: %s: sample %d (%d bytes): bad seconds %v", what, i, e.Bytes, e.Seconds)
+		}
+		prev = e.Bytes
+	}
+	return nil
+}
+
+// checkNBFit validates a non-blocking fit: finite non-negative overhead and
+// a well-formed in-flight sweep.
+func checkNBFit(what string, f nbFitJSON) error {
+	if math.IsNaN(f.Overhead) || math.IsInf(f.Overhead, 0) || f.Overhead < 0 {
+		return fmt.Errorf("persist: %s: bad overhead %v", what, f.Overhead)
+	}
+	return checkSamples(what+".in_flight", f.InFlight)
+}
+
+// UnmarshalIMB decodes and validates an IMB table. Beyond syntactic JSON
+// errors it rejects semantic corruption that would otherwise load silently
+// and poison projections: non-monotone or non-positive size grids, negative
+// or non-finite seconds, and duplicate routine entries.
 func UnmarshalIMB(data []byte) (*imb.Table, error) {
 	var j imbTableJSON
 	if err := json.Unmarshal(data, &j); err != nil {
@@ -94,6 +127,20 @@ func UnmarshalIMB(data []byte) (*imb.Table, error) {
 	if j.Machine == "" || j.Ranks < 2 || len(j.Sizes) == 0 {
 		return nil, fmt.Errorf("persist: incomplete IMB table (machine %q, %d ranks, %d sizes)",
 			j.Machine, j.Ranks, len(j.Sizes))
+	}
+	prev := units.Bytes(0)
+	for i, s := range j.Sizes {
+		if s <= prev {
+			return nil, fmt.Errorf("persist: IMB size grid entry %d: sizes must be positive and strictly increasing (%d after %d)",
+				i, s, prev)
+		}
+		prev = s
+	}
+	if err := checkNBFit("nb_intra", j.NBIntra); err != nil {
+		return nil, err
+	}
+	if err := checkNBFit("nb_inter", j.NBInter); err != nil {
+		return nil, err
 	}
 	t := &imb.Table{
 		Machine: j.Machine,
@@ -104,6 +151,15 @@ func UnmarshalIMB(data []byte) (*imb.Table, error) {
 		NBInter: imb.NBFit{Overhead: j.NBInter.Overhead, InFlight: mapOf(j.NBInter.InFlight)},
 	}
 	for _, rs := range j.PerOp {
+		if rs.Routine == "" {
+			return nil, fmt.Errorf("persist: IMB per_op entry without a routine name")
+		}
+		if _, dup := t.PerOp[rs.Routine]; dup {
+			return nil, fmt.Errorf("persist: duplicate IMB per_op entry for %s", rs.Routine)
+		}
+		if err := checkSamples("per_op."+string(rs.Routine), rs.Samples); err != nil {
+			return nil, err
+		}
 		t.PerOp[rs.Routine] = mapOf(rs.Samples)
 	}
 	return t, nil
@@ -138,7 +194,22 @@ func MarshalSpec(machine string, results map[string]spec.Result) ([]byte, error)
 	return json.MarshalIndent(j, "", "  ")
 }
 
-// UnmarshalSpec decodes a SPEC result set.
+// checkCounters validates one counter observation: every metric of the
+// canonical vector plus the derived totals must be finite and non-negative
+// (counter rates cannot be negative; NaN/Inf would silently corrupt the
+// metric-group ranking downstream).
+func checkCounters(what string, c *hpm.Counters) error {
+	vals := append(c.Vector(), c.Instructions, c.CPI, c.Runtime)
+	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("persist: %s: bad counter value %v (index %d)", what, v, i)
+		}
+	}
+	return nil
+}
+
+// UnmarshalSpec decodes and validates a SPEC result set, rejecting
+// duplicate benchmark entries and non-finite or negative counter values.
 func UnmarshalSpec(data []byte) (machine string, results map[string]spec.Result, err error) {
 	var j specSuiteJSON
 	if err := json.Unmarshal(data, &j); err != nil {
@@ -151,6 +222,15 @@ func UnmarshalSpec(data []byte) (machine string, results map[string]spec.Result,
 	for _, r := range j.Results {
 		if r.Bench == "" {
 			return "", nil, fmt.Errorf("persist: SPEC result without a name")
+		}
+		if _, dup := results[r.Bench]; dup {
+			return "", nil, fmt.Errorf("persist: duplicate SPEC result for %s", r.Bench)
+		}
+		if err := checkCounters(r.Bench+".st", &r.ST); err != nil {
+			return "", nil, err
+		}
+		if err := checkCounters(r.Bench+".smt", &r.SMT); err != nil {
+			return "", nil, err
 		}
 		results[r.Bench] = spec.Result{Bench: r.Bench, Machine: r.Machine, ST: r.ST, SMT: r.SMT}
 	}

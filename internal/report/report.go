@@ -8,7 +8,9 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/core"
 	"repro/internal/figures"
+	"repro/internal/mpi"
 	"repro/internal/units"
 )
 
@@ -147,3 +149,56 @@ func Summary(s *figures.Summary) string {
 
 // Duration formats a simulated duration for reports.
 func Duration(s units.Seconds) string { return units.FormatSeconds(s) }
+
+// commClassOrder fixes the rendering order of per-class validation errors:
+// map iteration order must never reach the output.
+var commClassOrder = []mpi.Class{mpi.ClassP2PNB, mpi.ClassP2PB, mpi.ClassCollective}
+
+// Projection renders one projection — the cmd/swapp report body. v may be
+// nil (no validation); otherwise the signed component errors are appended.
+// The output is deterministic: per-class errors print in the paper's fixed
+// class order.
+func Projection(p *core.Projection, v *core.Validation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s @%d ranks on %s: projected %s (compute %s + communication %s)",
+		p.App, p.Ck, p.Target,
+		units.FormatSeconds(p.Total), units.FormatSeconds(p.ComputeTime), units.FormatSeconds(p.CommTime))
+	if v != nil {
+		fmt.Fprintf(&b, "; measured %s (error %+.2f%%)",
+			units.FormatSeconds(v.MeasuredTotal), v.ErrCombined)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "\ncompute component:\n")
+	fmt.Fprintf(&b, "  characterised at Ci=%d, γ=%.3f (CCSM)\n", p.Compute.CharCount, p.Gamma)
+	if p.HyperScaled {
+		fmt.Fprintf(&b, "  ACSM: cache-footprint transition at Ch≈%.0f cores (hyper-scaling regime)\n", p.ACSM.Ch)
+	}
+	fmt.Fprintf(&b, "  metric-group ranking (most significant first): G%d G%d G%d G%d G%d G%d\n",
+		p.Compute.Ranking[0], p.Compute.Ranking[1], p.Compute.Ranking[2],
+		p.Compute.Ranking[3], p.Compute.Ranking[4], p.Compute.Ranking[5])
+	fmt.Fprintf(&b, "  surrogate (Eq. 2):\n")
+	for _, term := range p.Compute.Surrogate {
+		fmt.Fprintf(&b, "    %-18s w=%.4f\n", term.Bench, term.Weight)
+	}
+	fmt.Fprintf(&b, "\ncommunication component (Eq. 5/6, per task):\n")
+	fmt.Fprintf(&b, "  %-14s %10s %12s %12s %12s\n", "routine", "calls", "T_transfer", "T_wait", "T_elapsed")
+	for _, rp := range p.Comm.Routines {
+		fmt.Fprintf(&b, "  %-14s %10.1f %12s %12s %12s\n",
+			rp.Routine, rp.Calls,
+			units.FormatSeconds(rp.TargetTransfer),
+			units.FormatSeconds(rp.TargetWait),
+			units.FormatSeconds(rp.TargetElapsed()))
+	}
+	if v != nil {
+		fmt.Fprintf(&b, "\nvalidation against the measured run:\n")
+		fmt.Fprintf(&b, "  combined    %+7.2f%%\n", v.ErrCombined)
+		fmt.Fprintf(&b, "  computation %+7.2f%%\n", v.ErrCompute)
+		fmt.Fprintf(&b, "  comm        %+7.2f%%\n", v.ErrComm)
+		for _, cls := range commClassOrder {
+			if e, ok := v.ErrByClass[cls]; ok {
+				fmt.Fprintf(&b, "  %-11s %+7.2f%%\n", cls, e)
+			}
+		}
+	}
+	return b.String()
+}

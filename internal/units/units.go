@@ -88,11 +88,19 @@ func Pow2Sizes(min, max Bytes) []Bytes {
 }
 
 // NearestGridSizes returns the two grid sizes bracketing size for
-// interpolation, from the sorted grid. If size is below the grid both
-// returns are the first entry; above, both are the last.
+// interpolation. The grid is expected ascending; an unsorted grid is
+// detected (one O(n) scan) and a sorted copy is searched instead, so a
+// caller slipping in raw sweep data still gets correct brackets rather
+// than whatever a misapplied binary search lands on. If size is below the
+// grid both returns are the first entry; above, both are the last.
 func NearestGridSizes(grid []Bytes, size Bytes) (lo, hi Bytes) {
 	if len(grid) == 0 {
 		panic("units: empty grid")
+	}
+	if !sort.SliceIsSorted(grid, func(i, j int) bool { return grid[i] < grid[j] }) {
+		sorted := append([]Bytes(nil), grid...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		grid = sorted
 	}
 	i := sort.Search(len(grid), func(i int) bool { return grid[i] >= size })
 	switch {

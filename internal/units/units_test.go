@@ -64,6 +64,43 @@ func TestPow2Sizes(t *testing.T) {
 	}
 }
 
+// TestPow2SizesOverflowGuard pins the behaviour of the doubling loop at the
+// top of the int64 range, where a naive s *= 2 would wrap negative and loop
+// forever (or panic).
+func TestPow2SizesOverflowGuard(t *testing.T) {
+	const top = Bytes(1) << 62 // largest power of two representable in int64
+	cases := []struct {
+		name     string
+		min, max Bytes
+		want     []Bytes
+	}{
+		{"min at top power, max at MaxInt64", top, math.MaxInt64, []Bytes{top}},
+		{"exact top power", top, top, []Bytes{top}},
+		{"one below top power", top - 1, math.MaxInt64, []Bytes{top - 1, 2 * (top - 1)}},
+		{"max one below a grid point", 1 << 61, top - 1, []Bytes{1 << 61}},
+		{"min is MaxInt64", math.MaxInt64, math.MaxInt64, []Bytes{math.MaxInt64}},
+		{"full range stops at top power", 1, math.MaxInt64, Pow2Sizes(1, top)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Pow2Sizes(c.min, c.max)
+			if len(got) != len(c.want) {
+				t.Fatalf("Pow2Sizes(%d,%d) = %v (len %d), want %v", c.min, c.max, got, len(got), c.want)
+			}
+			for i := range c.want {
+				if got[i] != c.want[i] {
+					t.Fatalf("Pow2Sizes(%d,%d)[%d] = %d, want %d", c.min, c.max, i, got[i], c.want[i])
+				}
+			}
+			for _, s := range got {
+				if s < c.min || s > c.max {
+					t.Fatalf("Pow2Sizes(%d,%d) contains out-of-range %d", c.min, c.max, s)
+				}
+			}
+		})
+	}
+}
+
 func TestPow2SizesPanicsOnBadRange(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -113,6 +150,46 @@ func TestNearestGridSizes(t *testing.T) {
 			t.Errorf("NearestGridSizes(%d) = (%d,%d), want (%d,%d)", c.size, lo, hi, c.lo, c.hi)
 		}
 	}
+}
+
+// TestNearestGridSizesEdges covers the degenerate grids callers can hand
+// in: a single-entry grid (every query collapses to it) and an unsorted
+// grid (the lookup must sort defensively rather than binary-search garbage).
+func TestNearestGridSizesEdges(t *testing.T) {
+	t.Run("one-element grid", func(t *testing.T) {
+		grid := []Bytes{64}
+		for _, size := range []Bytes{0, 1, 63, 64, 65, math.MaxInt64} {
+			lo, hi := NearestGridSizes(grid, size)
+			if lo != 64 || hi != 64 {
+				t.Errorf("NearestGridSizes([64], %d) = (%d,%d), want (64,64)", size, lo, hi)
+			}
+		}
+	})
+	t.Run("unsorted grid", func(t *testing.T) {
+		grid := []Bytes{8, 1, 4, 2}
+		cases := []struct {
+			size   Bytes
+			lo, hi Bytes
+		}{
+			{0, 1, 1},
+			{3, 2, 4},
+			{4, 4, 4},
+			{100, 8, 8},
+		}
+		for _, c := range cases {
+			lo, hi := NearestGridSizes(grid, c.size)
+			if lo != c.lo || hi != c.hi {
+				t.Errorf("NearestGridSizes(%v, %d) = (%d,%d), want (%d,%d)", grid, c.size, lo, hi, c.lo, c.hi)
+			}
+		}
+		// The caller's slice must not be reordered in place.
+		want := []Bytes{8, 1, 4, 2}
+		for i := range want {
+			if grid[i] != want[i] {
+				t.Fatalf("input grid mutated: %v", grid)
+			}
+		}
+	})
 }
 
 // Property: the bracket always contains or bounds the query.

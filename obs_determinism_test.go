@@ -1,0 +1,103 @@
+package swapp
+
+import (
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/nas"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// renderProjection runs one projection and returns its rendered report —
+// the full user-visible output, so any numeric wobble shows up.
+func renderProjection(t *testing.T, scope *obs.Scope, workers int) string {
+	t.Helper()
+	res, err := Project(Request{
+		Target: TargetPower6, Bench: LU, Class: ClassC, Ranks: 16,
+		Workers: workers, Obs: scope,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report.Projection(res.Projection, nil)
+}
+
+// TestProjectionUnchangedByObs is the observability contract: recording
+// spans and metrics must never feed back into the projection. The rendered
+// output must be byte-identical with tracing enabled or disabled, at the
+// serial and the concurrent worker counts.
+func TestProjectionUnchangedByObs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full projections; skipped with -short")
+	}
+	want := renderProjection(t, nil, 1)
+	for _, c := range []struct {
+		name    string
+		obs     bool
+		workers int
+	}{
+		{"obs off, workers 8", false, 8},
+		{"obs on, workers 1", true, 1},
+		{"obs on, workers 8", true, 8},
+	} {
+		var scope *obs.Scope
+		if c.obs {
+			scope = obs.New("test")
+		}
+		got := renderProjection(t, scope, c.workers)
+		scope.End()
+		if got != want {
+			t.Errorf("%s: projection differs from obs-off serial baseline.\ngot:\n%s\nwant:\n%s", c.name, got, want)
+		}
+		if c.obs {
+			if v, ok := scope.Metrics().Counter("ga.evaluations"); !ok || v <= 0 {
+				t.Errorf("%s: observability was enabled but recorded nothing", c.name)
+			}
+		}
+	}
+}
+
+// TestFigureUnchangedByObs extends the contract to the figures layer: a
+// rendered figure is byte-identical with per-cell instrumentation on or
+// off, serial or concurrent.
+func TestFigureUnchangedByObs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure evaluation; skipped with -short")
+	}
+	render := func(scope *obs.Scope, workers int) string {
+		r := figures.NewRunner()
+		r.Workers = workers
+		r.Obs = scope
+		f, err := r.BenchFigure(nas.LU, figures.Targets()[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report.Figure(f)
+	}
+	want := render(nil, 1)
+	for _, c := range []struct {
+		name    string
+		obs     bool
+		workers int
+	}{
+		{"obs off, workers 8", false, 8},
+		{"obs on, workers 1", true, 1},
+		{"obs on, workers 8", true, 8},
+	} {
+		var scope *obs.Scope
+		if c.obs {
+			scope = obs.New("test")
+		}
+		got := render(scope, c.workers)
+		scope.End()
+		if got != want {
+			t.Errorf("%s: figure differs from obs-off serial baseline.\ngot:\n%s\nwant:\n%s", c.name, got, want)
+		}
+		if c.obs {
+			if v, ok := scope.Metrics().Counter("figures.cells"); !ok || v <= 0 {
+				t.Errorf("%s: per-cell instrumentation recorded nothing", c.name)
+			}
+		}
+	}
+}

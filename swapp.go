@@ -32,6 +32,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/mpi"
 	"repro/internal/nas"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -75,6 +76,12 @@ type Request struct {
 	// 0 means runtime.GOMAXPROCS(0), 1 forces the serial path. The
 	// projection is byte-identical for every value.
 	Workers int
+	// Obs, when non-nil, instruments the projection: hierarchical spans
+	// across pipeline construction, characterisation and both projection
+	// components, plus counters and histograms (see internal/obs). nil — the
+	// default — costs nothing, and the projection is byte-identical with
+	// observability on or off.
+	Obs *obs.Scope
 }
 
 // withDefaults validates and fills the request.
@@ -171,7 +178,7 @@ func prepare(req Request) (*core.Pipeline, *core.AppModel, error) {
 	base := arch.MustGet(req.Base)
 	target := arch.MustGet(req.Target)
 	counts := charCountsFor(req.Bench, req.Class, req.Ranks)
-	pipe, err := core.NewPipelineOpts(base, target, counts, core.Options{Workers: req.Workers})
+	pipe, err := core.NewPipelineOpts(base, target, counts, core.Options{Workers: req.Workers, Obs: req.Obs})
 	if err != nil {
 		return nil, nil, err
 	}
