@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz cover
+.PHONY: check build vet test race bench fuzz cover serve-smoke
 
 ## check: everything CI runs — vet, build, full tests, race tests.
 check: vet build test race
@@ -11,8 +11,10 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomises test (and subtest) execution order, so hidden
+# inter-test dependencies surface in CI instead of in a refactor.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The race detector slows the simulator ~10x; -short keeps the heaviest
 # figure-grid cases out while still exercising every parallel path
@@ -28,6 +30,11 @@ bench:
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalIMB$$' -fuzztime 10s ./internal/persist
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalSpec$$' -fuzztime 10s ./internal/persist
+
+# End-to-end smoke of the swappd service: start it, health-check, one
+# real cached /v1/project round-trip (second call must hit), clean drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Statement coverage of the -short suite; CI enforces a 72% floor.
 cover:

@@ -1,0 +1,116 @@
+// Command swappd serves the SWAPP pipeline as a shared projection service:
+// an HTTP JSON API over the library with a content-addressed result cache,
+// singleflight de-duplication, bounded concurrency with an admission
+// queue, per-request deadlines, and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	swappd -addr localhost:8080
+//
+// Endpoints (see internal/server and DESIGN.md §10):
+//
+//	POST /v1/project /v1/validate /v1/surrogate
+//	GET  /healthz /readyz /metrics /metrics.json /debug/pprof/
+//
+// Example:
+//
+//	curl -s -X POST localhost:8080/v1/project \
+//	  -d '{"target":"power6-575","bench":"BT-MZ","class":"C","ranks":64}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// evalOverride substitutes the evaluation function in tests; nil in
+// production.
+var evalOverride server.EvalFunc
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil)) }
+
+// run is the daemon body, factored for tests: parse flags, listen, serve
+// until a signal arrives on sig (a fresh SIGTERM/SIGINT subscription when
+// nil), then drain. It prints the bound address to stdout so callers of
+// -addr :0 can find the port.
+func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
+	fs := flag.NewFlagSet("swappd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "localhost:8080", "listen address (host:port; :0 picks a free port)")
+		workers     = fs.Int("workers", 0, "max concurrent evaluations (0 = GOMAXPROCS)")
+		queue       = fs.Int("queue", 0, "admission queue depth beyond running evaluations (0 = 2x workers)")
+		cacheSize   = fs.Int("cache", 128, "result cache capacity, in projections")
+		timeout     = fs.Duration("timeout", 5*time.Minute, "default per-request deadline")
+		maxTimeout  = fs.Duration("max-timeout", 10*time.Minute, "upper bound on client-requested deadlines")
+		evalWorkers = fs.Int("eval-workers", 0, "engine worker pool per evaluation (0 = GOMAXPROCS); does not affect the numbers")
+		grace       = fs.Duration("grace", 30*time.Second, "drain deadline after SIGTERM/SIGINT")
+		traceReqs   = fs.Bool("trace-requests", false, "record a span per evaluation (grows memory on long runs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	scope := obs.New("swappd")
+	defer scope.End()
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		EvalWorkers:    *evalWorkers,
+		Obs:            scope,
+		TraceRequests:  *traceReqs,
+		Eval:           evalOverride,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "swappd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "swappd listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	if sig == nil {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(ch)
+		sig = ch
+	}
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "swappd: serve: %v\n", err)
+		return 1
+	case <-sig:
+	}
+
+	// Drain: flip readiness so load balancers stop routing here, then let
+	// in-flight requests finish under the grace deadline.
+	fmt.Fprintln(stderr, "swappd: signal received, draining")
+	srv.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "swappd: drain incomplete: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "swappd: drained")
+	return 0
+}

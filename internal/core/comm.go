@@ -64,11 +64,23 @@ func (c *CommProjection) BaseTotal() units.Seconds {
 	return s
 }
 
-// TargetByClass sums projected per-task time per routine class.
+// TargetByClass sums projected per-task time per routine class. The result
+// is a map: consumers that render or accumulate floats from it must iterate
+// in a fixed class order (see report.ClassOrder), never in map order.
 func (c *CommProjection) TargetByClass() map[mpi.Class]units.Seconds {
 	out := map[mpi.Class]units.Seconds{}
 	for _, r := range c.Routines {
 		out[r.Class] += r.TargetElapsed()
+	}
+	return out
+}
+
+// BaseByClass sums profiled per-task time per routine class — the base-side
+// counterpart of TargetByClass, with the same fixed-iteration-order caveat.
+func (c *CommProjection) BaseByClass() map[mpi.Class]units.Seconds {
+	out := map[mpi.Class]units.Seconds{}
+	for _, r := range c.Routines {
+		out[r.Class] += r.BaseElapsed
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -245,13 +246,14 @@ func (p *Pipeline) ProjectCompute(app *AppModel, ci int) (*ComputeProjection, er
 
 // ProjectComputeOpts is ProjectCompute with ablation switches.
 func (p *Pipeline) ProjectComputeOpts(app *AppModel, ci int, opts ComputeOptions) (*ComputeProjection, error) {
-	return p.projectComputeOpts(p.Obs, app, ci, opts)
+	return p.projectComputeCtx(context.Background(), p.Obs, app, ci, opts)
 }
 
-// projectComputeOpts is the implementation, with its span attached under
+// projectComputeCtx is the implementation, with its span attached under
 // parent (p.Obs for direct calls, the enclosing projection's span when
-// called from project).
-func (p *Pipeline) projectComputeOpts(parent *obs.Scope, app *AppModel, ci int, opts ComputeOptions) (*ComputeProjection, error) {
+// called from project). ctx is checked before each GA ensemble member, the
+// expensive stage of the compute projection.
+func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app *AppModel, ci int, opts ComputeOptions) (*ComputeProjection, error) {
 	cp, ok := app.Counters[ci]
 	if !ok {
 		return nil, fmt.Errorf("core: no counters at %d ranks for %s", ci, app.Name())
@@ -319,6 +321,9 @@ func (p *Pipeline) projectComputeOpts(parent *obs.Scope, app *AppModel, ci int, 
 	const ensemble = 3
 	members := make([]*ga.Result, ensemble)
 	err := par.ForEachW(par.Workers(p.Workers), ensemble, func(w, e int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ms := sp.ChildW(fmt.Sprintf("ga.member.%d", e), w)
 		defer ms.End()
 		res, err := ga.Run(ga.Config{

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -84,6 +85,16 @@ func NewPipeline(base, target *arch.Machine, rankCounts []int) (*Pipeline, error
 // (machine, workload) key, so the gathered tables are identical to the
 // serial path's.
 func NewPipelineOpts(base, target *arch.Machine, rankCounts []int, opts Options) (*Pipeline, error) {
+	return NewPipelineCtx(context.Background(), base, target, rankCounts, opts)
+}
+
+// NewPipelineCtx is NewPipelineOpts under a context: construction checks
+// ctx at every stage boundary (each SPEC suite and each per-count IMB
+// sweep), so a cancelled or deadline-expired context aborts the gather
+// promptly with ctx.Err() instead of finishing minutes of dead work. This
+// is the entry point long-running services use to honour per-request
+// deadlines.
+func NewPipelineCtx(ctx context.Context, base, target *arch.Machine, rankCounts []int, opts Options) (*Pipeline, error) {
 	p := &Pipeline{
 		Base:      base,
 		Target:    target,
@@ -102,6 +113,9 @@ func NewPipelineOpts(base, target *arch.Machine, rankCounts []int, opts Options)
 	// Base-side SPEC runs carry measurement noise (we ran them); the
 	// target numbers are published averages — modelled as noisy too.
 	g.Go(func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		c := sp.Child("spec." + base.Name)
 		defer c.End()
 		var err error
@@ -111,6 +125,9 @@ func NewPipelineOpts(base, target *arch.Machine, rankCounts []int, opts Options)
 		return nil
 	})
 	g.Go(func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		c := sp.Child("spec." + target.Name)
 		defer c.End()
 		var err error
@@ -124,6 +141,9 @@ func NewPipelineOpts(base, target *arch.Machine, rankCounts []int, opts Options)
 	for i, c := range counts {
 		i, c := i, c
 		g.Go(func() error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			s := sp.Child(fmt.Sprintf("imb.%s.%d", base.Name, c))
 			defer s.End()
 			tb, err := imb.Run(base, c, nil)
@@ -134,6 +154,9 @@ func NewPipelineOpts(base, target *arch.Machine, rankCounts []int, opts Options)
 			return nil
 		})
 		g.Go(func() error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			s := sp.Child(fmt.Sprintf("imb.%s.%d", target.Name, c))
 			defer s.End()
 			tt, err := imb.Run(target, c, nil)
@@ -216,6 +239,13 @@ func (a *AppModel) Name() string { return fmt.Sprintf("%s.%s", a.Bench, a.Class)
 // measurement phase. counts nil defaults to the paper's sweep for the
 // benchmark.
 func (p *Pipeline) CharacterizeApp(b nas.Benchmark, c nas.Class, counts []int) (*AppModel, error) {
+	return p.CharacterizeAppCtx(context.Background(), b, c, counts)
+}
+
+// CharacterizeAppCtx is CharacterizeApp under a context: each per-count
+// profiling run checks ctx before starting, so cancellation aborts the
+// sweep at the next stage boundary.
+func (p *Pipeline) CharacterizeAppCtx(ctx context.Context, b nas.Benchmark, c nas.Class, counts []int) (*AppModel, error) {
 	if counts == nil {
 		counts = nas.PaperRankCounts(b)
 	}
@@ -236,6 +266,9 @@ func (p *Pipeline) CharacterizeApp(b nas.Benchmark, c nas.Class, counts []int) (
 	profiles := make([]*mpiprof.Profile, len(app.Counts))
 	pairs := make([]*CounterPair, len(app.Counts))
 	err := par.ForEachW(par.Workers(p.Workers), len(app.Counts), func(w, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ranks := app.Counts[i]
 		s := sp.ChildW(fmt.Sprintf("profile.%d", ranks), w)
 		defer s.End()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,17 +45,28 @@ type Projection struct {
 // and the communication component is extrapolated across the profiled
 // counts' projections (the MPI scaling model).
 func (p *Pipeline) Project(app *AppModel, ck int) (*Projection, error) {
-	return p.project(p.Obs, app, ck)
+	return p.project(context.Background(), p.Obs, app, ck)
+}
+
+// ProjectCtx is Project under a context: the compute projection (per GA
+// ensemble member) and each per-count communication projection check ctx
+// before starting, so an expired deadline aborts at the next stage boundary
+// with ctx.Err().
+func (p *Pipeline) ProjectCtx(ctx context.Context, app *AppModel, ck int) (*Projection, error) {
+	return p.project(ctx, p.Obs, app, ck)
 }
 
 // project is the implementation; its span — and those of the compute and
 // communication sub-projections — nest under parent.
-func (p *Pipeline) project(parent *obs.Scope, app *AppModel, ck int) (*Projection, error) {
+func (p *Pipeline) project(ctx context.Context, parent *obs.Scope, app *AppModel, ck int) (*Projection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sp := parent.Child(fmt.Sprintf("core.project.%s@%d", app.Name(), ck))
 	defer sp.End()
 	ci := app.nearestCount(ck)
 
-	comp, err := p.projectComputeOpts(sp, app, ci, ComputeOptions{})
+	comp, err := p.projectComputeCtx(ctx, sp, app, ci, ComputeOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -89,6 +101,9 @@ func (p *Pipeline) project(parent *obs.Scope, app *AppModel, ck int) (*Projectio
 		var xs, ys []float64
 		var last *CommProjection
 		for _, c := range app.Counts {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			comm, err := p.projectComm(sp, app, c, comp.SpeedupRatio())
 			if err != nil {
 				return nil, err
@@ -159,10 +174,20 @@ func pctErr(projected, measured units.Seconds) float64 {
 // target machine (the step SWAPP's users cannot do — this is the
 // reproduction's ground truth), returning both sides with errors.
 func (p *Pipeline) Validate(app *AppModel, ck int) (*Validation, error) {
+	return p.ValidateCtx(context.Background(), app, ck)
+}
+
+// ValidateCtx is Validate under a context: the projection honours ctx at
+// its stage boundaries and the measured target run is skipped if ctx has
+// already expired.
+func (p *Pipeline) ValidateCtx(ctx context.Context, app *AppModel, ck int) (*Validation, error) {
 	sp := p.Obs.Child(fmt.Sprintf("core.validate.%s@%d", app.Name(), ck))
 	defer sp.End()
-	proj, err := p.project(sp, app, ck)
+	proj, err := p.project(ctx, sp, app, ck)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	ms := sp.Child("measured-run." + p.Target.Name)

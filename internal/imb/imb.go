@@ -103,18 +103,19 @@ func (t *Table) TransferNB(size units.Bytes, xIntra, xInter float64) units.Secon
 	return t.NBOverhead() + xIntra*t.InFlightIntra(size) + xInter*t.InFlightInter(size)
 }
 
-// interpSize log-log interpolates a size-keyed table.
+// interpSize log-log interpolates a size-keyed table. Non-positive samples
+// are skipped rather than substituted: log-log needs positive values, and a
+// placeholder like 1e-12 would bend the fitted curve through an absurd
+// point, poisoning every query between the zero sample's neighbours. The
+// persist decoders already reject non-positive timings on load, but tables
+// built directly by Run (or by hand in tests) bypass that validation.
 func interpSize(grid []units.Bytes, m map[units.Bytes]units.Seconds, size units.Bytes) units.Seconds {
 	xs := make([]float64, 0, len(grid))
 	ys := make([]float64, 0, len(grid))
 	for _, s := range grid {
 		v, ok := m[s]
-		if !ok {
+		if !ok || v <= 0 {
 			continue
-		}
-		// Guard against zero times (log-log needs positive values).
-		if v <= 0 {
-			v = 1e-12
 		}
 		xs = append(xs, float64(s))
 		ys = append(ys, v)

@@ -211,3 +211,41 @@ func TestPingPingAndExchangeMeasured(t *testing.T) {
 		t.Errorf("PingPing should cost at least a one-way send")
 	}
 }
+
+// TestInterpSizeSkipsNonPositive is the regression test for the 1e-12
+// substitution bug: a single zero (or negative) sample used to be replaced
+// by 1e-12 before the log-log fit, bending the interpolated curve through
+// an absurd point and poisoning every query near it. Non-positive samples
+// must instead be skipped, so interpolation bridges their neighbours.
+func TestInterpSizeSkipsNonPositive(t *testing.T) {
+	grid := []units.Bytes{1024, 2048, 4096}
+	m := map[units.Bytes]units.Seconds{
+		1024: 1e-5,
+		2048: 0, // corrupt sample: must be ignored, not clamped to 1e-12
+		4096: 4e-5,
+	}
+	// Exactly on the corrupt grid point: with the bug this returned 1e-12;
+	// now it log-log interpolates between the healthy neighbours, landing
+	// geometrically between them.
+	got := interpSize(grid, m, 2048)
+	if got < 1e-5 || got > 4e-5 {
+		t.Errorf("interpSize at corrupt point = %v, want within [1e-5, 4e-5]", got)
+	}
+	// Near the corrupt point the curve must stay monotone over the healthy
+	// bracket rather than diving toward the placeholder.
+	lo := interpSize(grid, m, 1500)
+	hi := interpSize(grid, m, 3000)
+	if !(lo >= 1e-5 && lo <= got && got <= hi && hi <= 4e-5) {
+		t.Errorf("interpolation not monotone across corrupt sample: %v %v %v", lo, got, hi)
+	}
+	// Negative samples are equally skipped.
+	m[2048] = -3
+	if again := interpSize(grid, m, 2048); again != got {
+		t.Errorf("negative sample handled differently from zero: %v vs %v", again, got)
+	}
+	// All samples corrupt: nothing to fit, return 0.
+	all := map[units.Bytes]units.Seconds{1024: 0, 2048: -1}
+	if v := interpSize(grid, all, 2048); v != 0 {
+		t.Errorf("all-non-positive table should yield 0, got %v", v)
+	}
+}

@@ -10,7 +10,6 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/figures"
-	"repro/internal/mpi"
 	"repro/internal/units"
 )
 
@@ -151,8 +150,9 @@ func Summary(s *figures.Summary) string {
 func Duration(s units.Seconds) string { return units.FormatSeconds(s) }
 
 // commClassOrder fixes the rendering order of per-class validation errors:
-// map iteration order must never reach the output.
-var commClassOrder = []mpi.Class{mpi.ClassP2PNB, mpi.ClassP2PB, mpi.ClassCollective}
+// map iteration order must never reach the output. It aliases the ClassOrder
+// shared with the JSON form.
+var commClassOrder = ClassOrder
 
 // Projection renders one projection — the cmd/swapp report body. v may be
 // nil (no validation); otherwise the signed component errors are appended.

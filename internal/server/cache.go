@@ -1,0 +1,117 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	swapp "repro"
+)
+
+// digest returns the content-addressed cache key for one evaluation: a
+// sha256 over the operation and every request field that influences the
+// numbers. Workers and Obs are excluded (the projection is byte-identical
+// across them, by the engine's determinism contract), as is the caller's
+// deadline — a request that times out for one client must still be
+// serveable from cache for the next. Requests must be normalised first so
+// that a defaulted and an explicit base share an entry.
+func digest(op string, req swapp.Request) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s|%s|%c|%d",
+		op, req.Base, req.Target, req.Bench, req.Class, req.Ranks)))
+	return hex.EncodeToString(h[:])
+}
+
+// call is one in-flight evaluation, shared by every request that arrived
+// while it ran. done closes exactly once, after res/err are set.
+type call struct {
+	done chan struct{}
+	res  *swapp.Result
+	err  error
+}
+
+// cache is the result store: an LRU over finished evaluations plus a
+// singleflight table collapsing duplicate in-flight ones. Entries hold
+// *swapp.Result values, which are immutable once published.
+type cache struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List               // front = most recently used
+	entries  map[string]*list.Element // key → element; element value is *entry
+	inflight map[string]*call
+}
+
+// entry is one LRU element's payload.
+type entry struct {
+	key string
+	res *swapp.Result
+}
+
+func newCache(max int) *cache {
+	if max < 1 {
+		max = 1
+	}
+	return &cache{
+		max:      max,
+		ll:       list.New(),
+		entries:  map[string]*list.Element{},
+		inflight: map[string]*call{},
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *cache) get(key string) (*swapp.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).res, true
+}
+
+// join returns the in-flight call for key, creating it if absent. leader
+// is true for the creator, who must run the evaluation and finish it;
+// everyone else waits on call.done.
+func (c *cache) join(key string) (cl *call, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl, ok := c.inflight[key]; ok {
+		return cl, false
+	}
+	cl = &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	return cl, true
+}
+
+// finish publishes the leader's outcome: successful results enter the LRU,
+// the in-flight slot is cleared either way, and every waiter is released.
+func (c *cache) finish(key string, cl *call, res *swapp.Result, err error) {
+	c.mu.Lock()
+	cl.res, cl.err = res, err
+	delete(c.inflight, key)
+	if err == nil {
+		if el, ok := c.entries[key]; ok {
+			c.ll.MoveToFront(el)
+			el.Value.(*entry).res = res
+		} else {
+			c.entries[key] = c.ll.PushFront(&entry{key: key, res: res})
+			for c.ll.Len() > c.max {
+				oldest := c.ll.Back()
+				c.ll.Remove(oldest)
+				delete(c.entries, oldest.Value.(*entry).key)
+			}
+		}
+	}
+	c.mu.Unlock()
+	close(cl.done)
+}
+
+// len reports the number of cached results.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	swapp "repro"
+	"repro/internal/report"
+)
+
+// TestAPIMatchesCLIProjection is the end-to-end parity check: for each
+// NAS-MZ benchmark, the JSON served by /v1/project must be byte-identical
+// to the wire form of the projection the library (and therefore the swapp
+// CLI) computes for the same request — the cache and the serving path must
+// never perturb a number.
+func TestAPIMatchesCLIProjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline evaluations; skipped in -short")
+	}
+	s := New(Config{Workers: 2, DefaultTimeout: 5 * time.Minute})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		bench swapp.Request
+		body  string
+	}{
+		{swapp.Request{Target: swapp.TargetPower6, Bench: swapp.BT, Class: swapp.ClassC, Ranks: 16},
+			`{"target":"power6-575","bench":"BT-MZ","class":"C","ranks":16}`},
+		{swapp.Request{Target: swapp.TargetPower6, Bench: swapp.SP, Class: swapp.ClassC, Ranks: 16},
+			`{"target":"power6-575","bench":"SP-MZ","class":"C","ranks":16}`},
+		{swapp.Request{Target: swapp.TargetPower6, Bench: swapp.LU, Class: swapp.ClassC, Ranks: 16},
+			`{"target":"power6-575","bench":"LU-MZ","class":"C","ranks":16}`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(string(tc.bench.Bench), func(t *testing.T) {
+			res, err := swapp.Project(tc.bench)
+			if err != nil {
+				t.Fatalf("library projection: %v", err)
+			}
+			want, err := report.MarshalProjection(res.Projection, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			get := func() (string, []byte) {
+				resp, err := http.Post(ts.URL+"/v1/project", "application/json", strings.NewReader(tc.body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				b, err := io.ReadAll(resp.Body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resp.StatusCode != 200 {
+					t.Fatalf("status %d: %s", resp.StatusCode, b)
+				}
+				return resp.Header.Get("X-Cache"), b
+			}
+			cache1, body1 := get()
+			if !bytes.Equal(body1, want) {
+				t.Errorf("API body differs from the library projection:\nAPI: %s\nCLI: %s", body1, want)
+			}
+			if cache1 != "miss" {
+				t.Errorf("first request X-Cache = %q, want miss", cache1)
+			}
+			cache2, body2 := get()
+			if cache2 != "hit" {
+				t.Errorf("second request X-Cache = %q, want hit", cache2)
+			}
+			if !bytes.Equal(body2, want) {
+				t.Error("cached API body differs from the library projection")
+			}
+		})
+	}
+}

@@ -1,0 +1,372 @@
+// Package server turns the SWAPP pipeline into a shared, concurrent
+// projection service: an HTTP JSON API over swapp.Project and
+// swapp.ProjectAndValidate with a content-addressed result cache,
+// singleflight collapsing of duplicate in-flight queries, a bounded
+// worker pool with an admission queue, and per-request deadlines.
+//
+// Endpoints:
+//
+//	POST /v1/project    full projection (compute + communication), JSON
+//	POST /v1/validate   projection plus the measured run and signed errors
+//	POST /v1/surrogate  the Eq. 2 compute surrogate only
+//	GET  /healthz       liveness (always 200 while the process serves)
+//	GET  /readyz        readiness (503 once draining)
+//
+// A projection is deterministic in its request, so results are cached
+// under a sha256 of the request's semantic fields (see digest) and
+// served byte-identical to what the evaluation produced. Overload is
+// explicit: when the admission queue is full the server answers 503 with
+// a Retry-After header instead of queueing unboundedly, and a request
+// whose deadline expires — waiting or evaluating — returns 504 promptly.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	swapp "repro"
+	"repro/internal/nas"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// EvalFunc runs one evaluation. op is "project" (shared by /v1/project and
+// /v1/surrogate) or "validate". The production function dispatches to
+// swapp.ProjectContext / swapp.ProjectAndValidateContext; tests inject
+// stubs to exercise the serving machinery without the pipeline's cost.
+type EvalFunc func(ctx context.Context, op string, req swapp.Request) (*swapp.Result, error)
+
+// defaultEval is the production EvalFunc.
+func defaultEval(ctx context.Context, op string, req swapp.Request) (*swapp.Result, error) {
+	if op == opValidate {
+		return swapp.ProjectAndValidateContext(ctx, req)
+	}
+	return swapp.ProjectContext(ctx, req)
+}
+
+// Operations (and cache-key prefixes).
+const (
+	opProject  = "project"
+	opValidate = "validate"
+)
+
+// Config parameterises a Server. The zero value is usable: every field
+// defaults sanely in New.
+type Config struct {
+	// Workers bounds concurrent evaluations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds evaluations waiting for a worker beyond the
+	// running ones (default 2×Workers). Arrivals beyond the queue are
+	// rejected with 503 + Retry-After.
+	QueueDepth int
+	// CacheSize bounds the result LRU, in entries (default 128).
+	CacheSize int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 5m). MaxTimeout caps client-requested deadlines
+	// (default 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// EvalWorkers is the per-evaluation engine pool size passed through
+	// to swapp.Request.Workers (0 = GOMAXPROCS). It does not enter the
+	// cache key: the projection is byte-identical at any value.
+	EvalWorkers int
+	// Obs receives the serving metrics (server.requests, server.cache_hits,
+	// server.inflight, …) and, with TraceRequests, a child span per
+	// evaluation. nil disables both.
+	Obs *obs.Scope
+	// TraceRequests attaches a span per evaluation under Obs. Off by
+	// default: a long-running server would grow the span tree without
+	// bound.
+	TraceRequests bool
+	// Eval overrides the evaluation function (tests).
+	Eval EvalFunc
+}
+
+// Server is the projection service. Create with New, expose via Handler.
+type Server struct {
+	cfg   Config
+	obs   *obs.Scope
+	eval  EvalFunc
+	cache *cache
+
+	sem      chan struct{} // worker slots
+	queued   atomic.Int64  // arrivals between admission and a slot
+	inflight atomic.Int64  // running evaluations
+	draining atomic.Bool
+}
+
+// New builds a Server from cfg, applying defaults.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 128
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 5 * time.Minute
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 10 * time.Minute
+	}
+	if cfg.Eval == nil {
+		cfg.Eval = defaultEval
+	}
+	return &Server{
+		cfg:   cfg,
+		obs:   cfg.Obs,
+		eval:  cfg.Eval,
+		cache: newCache(cfg.CacheSize),
+		sem:   make(chan struct{}, cfg.Workers),
+	}
+}
+
+// SetDraining flips the readiness state: once draining, /readyz answers
+// 503 so load balancers stop routing here while in-flight work finishes
+// (the listener's graceful Shutdown does the actual waiting).
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Handler returns the API mux. The obs debug surface (pprof, expvar,
+// /metrics, /trace.json) is mounted alongside the API when Obs is set.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/project", s.handleEval(opProject, renderProject))
+	mux.HandleFunc("/v1/validate", s.handleEval(opValidate, renderValidate))
+	mux.HandleFunc("/v1/surrogate", s.handleEval(opProject, renderSurrogate))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	if s.obs.Enabled() {
+		debug := obs.DebugHandler(s.obs)
+		for _, p := range []string{"/debug/", "/metrics", "/metrics.json", "/trace.json"} {
+			mux.Handle(p, debug)
+		}
+	}
+	return mux
+}
+
+// apiRequest is the JSON body of the /v1 endpoints.
+type apiRequest struct {
+	Base   string `json:"base,omitempty"`
+	Target string `json:"target"`
+	Bench  string `json:"bench"`
+	Class  string `json:"class"`
+	Ranks  int    `json:"ranks"`
+	// TimeoutMS is the per-request deadline in milliseconds; 0 means the
+	// server default, and values above the server maximum are clamped.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// errQueueFull rejects an arrival when the admission queue is at depth.
+var errQueueFull = errors.New("server: admission queue full")
+
+// handleEval builds the handler for one evaluation endpoint: decode,
+// normalise, cache/singleflight/admit, evaluate, render.
+func (s *Server) handleEval(op string, render func(*swapp.Result) ([]byte, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		endpoint := r.URL.Path
+		s.obs.Count("server.requests", 1)
+		s.obs.Count("server.requests."+endpoint, 1)
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s requires POST", endpoint))
+			return
+		}
+		var body apiRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		if len(body.Class) != 1 {
+			writeError(w, http.StatusBadRequest, errors.New("class must be a single letter (C or D)"))
+			return
+		}
+		req, err := swapp.Request{
+			Base:   body.Base,
+			Target: body.Target,
+			Bench:  nas.Benchmark(body.Bench),
+			Class:  nas.Class(body.Class[0]),
+			Ranks:  body.Ranks,
+		}.Normalized()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+
+		timeout := s.cfg.DefaultTimeout
+		if body.TimeoutMS > 0 {
+			timeout = time.Duration(body.TimeoutMS) * time.Millisecond
+		}
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		start := time.Now()
+		res, hit, err := s.evaluate(ctx, op, req)
+		s.obs.Observe("server.request_seconds", time.Since(start).Seconds())
+		if err != nil {
+			switch {
+			case errors.Is(err, errQueueFull):
+				s.obs.Count("server.rejected", 1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, err)
+			case errors.Is(err, context.DeadlineExceeded):
+				writeError(w, http.StatusGatewayTimeout, err)
+			case errors.Is(err, context.Canceled):
+				// Client went away; the status is for the log line only.
+				writeError(w, statusClientClosedRequest, err)
+			default:
+				s.obs.Count("server.errors", 1)
+				writeError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		if hit {
+			s.obs.Count("server.cache_hits", 1)
+		} else {
+			s.obs.Count("server.cache_misses", 1)
+		}
+		out, err := render(res)
+		if err != nil {
+			s.obs.Count("server.errors", 1)
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", map[bool]string{true: "hit", false: "miss"}[hit])
+		_, _ = w.Write(out)
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional code for a request
+// cancelled by its client; net/http has no named constant for it.
+const statusClientClosedRequest = 499
+
+// evaluate resolves one (op, request) through the cache: serve a finished
+// result, join an in-flight evaluation, or become the leader — pass
+// admission control and run the evaluation. hit reports a cache hit.
+func (s *Server) evaluate(ctx context.Context, op string, req swapp.Request) (res *swapp.Result, hit bool, err error) {
+	key := digest(op, req)
+	if res, ok := s.cache.get(key); ok {
+		return res, true, nil
+	}
+	cl, leader := s.cache.join(key)
+	if !leader {
+		// Someone is already computing this result; wait for them under
+		// our own deadline.
+		select {
+		case <-cl.done:
+			return cl.res, false, cl.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	if err := s.admit(ctx); err != nil {
+		s.cache.finish(key, cl, nil, err)
+		return nil, false, err
+	}
+	s.obs.Gauge("server.inflight", float64(s.inflight.Add(1)))
+	evalReq := req
+	evalReq.Workers = s.cfg.EvalWorkers
+	if s.cfg.TraceRequests {
+		sp := s.obs.Child(fmt.Sprintf("server.%s.%s.%c@%d:%s", op, evalReq.Bench, evalReq.Class, evalReq.Ranks, evalReq.Target))
+		evalReq.Obs = sp
+		defer sp.End()
+	}
+	res, err = s.eval(ctx, op, evalReq)
+	s.obs.Gauge("server.inflight", float64(s.inflight.Add(-1)))
+	<-s.sem
+	s.cache.finish(key, cl, res, err)
+	return res, false, err
+}
+
+// admit takes a worker slot, waiting in the bounded admission queue. The
+// queue bound covers transiently-admitting requests plus QueueDepth true
+// waiters; beyond it arrivals fail fast with errQueueFull so saturation
+// surfaces as 503 instead of unbounded queueing.
+func (s *Server) admit(ctx context.Context) error {
+	q := s.queued.Add(1)
+	defer s.queued.Add(-1)
+	if q > int64(s.cfg.Workers+s.cfg.QueueDepth) {
+		return errQueueFull
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// renderProject is the /v1/project body: the projection's wire form.
+func renderProject(res *swapp.Result) ([]byte, error) {
+	return report.MarshalProjection(res.Projection, nil)
+}
+
+// renderValidate is the /v1/validate body: projection plus measured run.
+func renderValidate(res *swapp.Result) ([]byte, error) {
+	return report.MarshalProjection(res.Projection, res.Validation)
+}
+
+// surrogateResponse is the /v1/surrogate body: request identity plus the
+// Eq. 2 compute component only.
+type surrogateResponse struct {
+	App     string              `json:"app"`
+	Target  string              `json:"target"`
+	Ranks   int                 `json:"ranks"`
+	Compute *report.ComputeJSON `json:"compute"`
+}
+
+// renderSurrogate extracts the compute section from a projection.
+func renderSurrogate(res *swapp.Result) ([]byte, error) {
+	j := report.NewProjectionJSON(res.Projection, nil)
+	b, err := json.Marshal(surrogateResponse{
+		App: j.App, Target: j.Target, Ranks: j.Ranks, Compute: j.Compute,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// writeError emits the JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, merr := json.Marshal(apiError{Error: err.Error()})
+	if merr != nil {
+		return
+	}
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// CacheLen reports the number of cached results (tests, /readyz probes).
+func (s *Server) CacheLen() int { return s.cache.len() }

@@ -1,0 +1,427 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	swapp "repro"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// stubResult fabricates a small but fully-populated result for a request,
+// so handlers render every section without running the pipeline.
+func stubResult(req swapp.Request) *swapp.Result {
+	comm := &core.CommProjection{
+		Ranks:     req.Ranks,
+		WaitScale: 1.25,
+		Routines: []*core.RoutineProjection{
+			{Routine: mpi.RoutineBcast, Class: mpi.ClassCollective, Calls: 2,
+				BaseElapsed: 0.2, BaseTransfer: 0.15, BaseWait: 0.05, TargetTransfer: 0.1, TargetWait: 0.06},
+		},
+	}
+	proj := &core.Projection{
+		App:    fmt.Sprintf("%s.%c", req.Bench, req.Class),
+		Target: req.Target,
+		Ck:     req.Ranks,
+		Compute: &core.ComputeProjection{
+			Surrogate: []core.SurrogateTerm{{Bench: "437.leslie3d", Weight: 1}},
+			CharCount: req.Ranks, BaseTime: 2, TargetTime: 1,
+			Ranking: [6]int{1, 2, 3, 4, 5, 6},
+		},
+		Gamma:       1,
+		ComputeTime: 1,
+		Comm:        comm,
+		CommTime:    comm.TargetTotal(),
+	}
+	proj.Total = proj.ComputeTime + proj.CommTime
+	return &swapp.Result{Request: req, Projection: proj}
+}
+
+// stubEval counts evaluations and optionally blocks until released (or the
+// request context dies).
+type stubEval struct {
+	calls atomic.Int64
+	gate  chan struct{} // nil: return immediately; else wait for close/ctx
+}
+
+func (e *stubEval) fn(ctx context.Context, op string, req swapp.Request) (*swapp.Result, error) {
+	e.calls.Add(1)
+	if e.gate != nil {
+		select {
+		case <-e.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return stubResult(req), nil
+}
+
+// newTestServer wires a stub-backed Server into an httptest listener.
+func newTestServer(t *testing.T, cfg Config, eval *stubEval) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.Eval = eval.fn
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends one API request and returns status, headers and body.
+func post(t *testing.T, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+const reqBT = `{"target":"power6-575","bench":"BT-MZ","class":"C","ranks":16}`
+
+func TestCacheHitSecondRequest(t *testing.T) {
+	eval := &stubEval{}
+	scope := obs.New("test")
+	_, ts := newTestServer(t, Config{Workers: 2, Obs: scope}, eval)
+
+	code1, hdr1, body1 := post(t, ts.URL+"/v1/project", reqBT)
+	code2, hdr2, body2 := post(t, ts.URL+"/v1/project", reqBT)
+	if code1 != 200 || code2 != 200 {
+		t.Fatalf("status = %d, %d; want 200, 200", code1, code2)
+	}
+	if n := eval.calls.Load(); n != 1 {
+		t.Errorf("identical back-to-back requests ran %d evaluations, want 1", n)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("cached response differs from the original")
+	}
+	if hdr1.Get("X-Cache") != "miss" || hdr2.Get("X-Cache") != "hit" {
+		t.Errorf("X-Cache = %q, %q; want miss, hit", hdr1.Get("X-Cache"), hdr2.Get("X-Cache"))
+	}
+	m := scope.Metrics()
+	if hits, _ := m.Counter("server.cache_hits"); hits != 1 {
+		t.Errorf("server.cache_hits = %d, want 1", hits)
+	}
+	if misses, _ := m.Counter("server.cache_misses"); misses != 1 {
+		t.Errorf("server.cache_misses = %d, want 1", misses)
+	}
+	if reqs, _ := m.Counter("server.requests"); reqs != 2 {
+		t.Errorf("server.requests = %d, want 2", reqs)
+	}
+
+	// A defaulted base and the explicit equivalent share a cache entry.
+	code3, _, _ := post(t, ts.URL+"/v1/project",
+		`{"base":"hydra","target":"power6-575","bench":"BT-MZ","class":"C","ranks":16}`)
+	if code3 != 200 {
+		t.Fatalf("explicit-base request: status %d", code3)
+	}
+	if n := eval.calls.Load(); n != 1 {
+		t.Errorf("normalised request missed the cache: %d evaluations", n)
+	}
+	// The validate op caches separately from project.
+	post(t, ts.URL+"/v1/validate", reqBT)
+	if n := eval.calls.Load(); n != 2 {
+		t.Errorf("validate after project ran %d evaluations, want 2", n)
+	}
+}
+
+func TestSurrogateEndpointSharesProjectCache(t *testing.T) {
+	eval := &stubEval{}
+	_, ts := newTestServer(t, Config{Workers: 2}, eval)
+	code, _, body := post(t, ts.URL+"/v1/surrogate", reqBT)
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var sr struct {
+		App     string          `json:"app"`
+		Compute json.RawMessage `json:"compute"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("surrogate body: %v", err)
+	}
+	if sr.App != "BT-MZ.C" || len(sr.Compute) == 0 {
+		t.Errorf("surrogate body incomplete: %s", body)
+	}
+	if bytes.Contains(body, []byte(`"comm"`)) {
+		t.Error("surrogate response must not carry the comm section")
+	}
+	// Same op and key as /v1/project: no second evaluation.
+	post(t, ts.URL+"/v1/project", reqBT)
+	if n := eval.calls.Load(); n != 1 {
+		t.Errorf("project after surrogate ran %d evaluations, want 1", n)
+	}
+}
+
+func TestSingleflightCollapsesConcurrentDuplicates(t *testing.T) {
+	eval := &stubEval{gate: make(chan struct{})}
+	_, ts := newTestServer(t, Config{Workers: 2}, eval)
+
+	const n = 4
+	codes := make([]int, n)
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/project", "application/json", strings.NewReader(reqBT))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	// Wait until the leader is inside the evaluation, then release it.
+	deadline := time.Now().Add(5 * time.Second)
+	for eval.calls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(eval.gate)
+	wg.Wait()
+
+	if n := eval.calls.Load(); n != 1 {
+		t.Errorf("concurrent duplicates ran %d evaluations, want 1", n)
+	}
+	for i := range codes {
+		if codes[i] != 200 {
+			t.Errorf("request %d: status %d", i, codes[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d: body differs from leader's", i)
+		}
+	}
+}
+
+func TestDeadlineExpiryReturnsPromptly(t *testing.T) {
+	eval := &stubEval{gate: make(chan struct{})} // never released in time
+	scope := obs.New("test")
+	_, ts := newTestServer(t, Config{Workers: 1, Obs: scope}, eval)
+
+	start := time.Now()
+	code, _, body := post(t, ts.URL+"/v1/project",
+		`{"target":"power6-575","bench":"BT-MZ","class":"C","ranks":16,"timeout_ms":50}`)
+	elapsed := time.Since(start)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %s", code, body)
+	}
+	if !bytes.Contains(body, []byte("deadline")) {
+		t.Errorf("error body should name the deadline: %s", body)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("expired deadline took %v to surface", elapsed)
+	}
+	close(eval.gate)
+	// The failed evaluation must not have poisoned the cache: the next
+	// request re-evaluates and succeeds.
+	code, _, _ = post(t, ts.URL+"/v1/project", reqBT)
+	if code != 200 {
+		t.Errorf("request after timeout: status %d", code)
+	}
+	if n := eval.calls.Load(); n != 2 {
+		t.Errorf("evaluations = %d, want 2 (errors are not cached)", n)
+	}
+}
+
+func TestQueueSaturationReturns503(t *testing.T) {
+	eval := &stubEval{gate: make(chan struct{})}
+	scope := obs.New("test")
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Obs: scope}, eval)
+
+	// Distinct requests so the singleflight table cannot collapse them:
+	// one running, then fill the admission bound (Workers+QueueDepth=2
+	// concurrent admissions), then overflow.
+	body := func(r int) string {
+		return fmt.Sprintf(`{"target":"power6-575","bench":"BT-MZ","class":"C","ranks":%d}`, r)
+	}
+	results := make(chan int, 8)
+	launch := func(r int) {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/project", "application/json", strings.NewReader(body(r)))
+			if err != nil {
+				results <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			results <- resp.StatusCode
+		}()
+	}
+	// Occupy the worker, then fill the admission bound: with Workers=1 and
+	// QueueDepth=1 the admission counter tolerates 2 concurrent admissions
+	// (one transiently taking the free slot plus one true waiter), so two
+	// parked requests saturate it while the first evaluates.
+	launch(16)
+	waitFor(t, func() bool { return eval.calls.Load() == 1 })
+	launch(32)
+	waitFor(t, func() bool { return s.queued.Load() >= 1 })
+	launch(48)
+	waitFor(t, func() bool { return s.queued.Load() >= 2 })
+
+	// The next arrival must be rejected immediately — not parked.
+	code, hdr, rbody := post(t, ts.URL+"/v1/project", body(64))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated queue: status %d, want 503 (body %s)", code, rbody)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("503 must carry Retry-After")
+	}
+	if rej, _ := scope.Metrics().Counter("server.rejected"); rej < 1 {
+		t.Errorf("server.rejected = %d, want >= 1", rej)
+	}
+
+	// In-flight work is not wedged: release the gate and all three
+	// admitted requests complete with 200.
+	close(eval.gate)
+	for i := 0; i < 3; i++ {
+		select {
+		case code := <-results:
+			if code != 200 {
+				t.Errorf("admitted request finished with %d, want 200", code)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("admitted request never completed after release")
+		}
+	}
+}
+
+// waitFor polls cond up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	eval := &stubEval{}
+	_, ts := newTestServer(t, Config{Workers: 1}, eval)
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown target", `{"target":"cray-1","bench":"BT-MZ","class":"C","ranks":16}`},
+		{"zero ranks", `{"target":"power6-575","bench":"BT-MZ","class":"C","ranks":0}`},
+		{"bad class", `{"target":"power6-575","bench":"BT-MZ","class":"CD","ranks":16}`},
+		{"unknown bench", `{"target":"power6-575","bench":"CG-MZ","class":"C","ranks":16}`},
+		{"ranks beyond limit", `{"target":"power6-575","bench":"LU-MZ","class":"C","ranks":512}`},
+		{"base equals target", `{"base":"power6-575","target":"power6-575","bench":"BT-MZ","class":"C","ranks":16}`},
+		{"unknown field", `{"target":"power6-575","bench":"BT-MZ","class":"C","ranks":16,"bogus":1}`},
+		{"malformed json", `{`},
+	}
+	for _, tc := range cases {
+		code, _, body := post(t, ts.URL+"/v1/project", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, code, body)
+		}
+		var e apiError
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not JSON: %s", tc.name, body)
+		}
+	}
+	if n := eval.calls.Load(); n != 0 {
+		t.Errorf("bad requests reached the evaluator %d times", n)
+	}
+	if code, _, _ := post(t, ts.URL+"/healthz", ""); code != http.StatusOK {
+		t.Error("healthz should tolerate POST via mux default — expected 200")
+	}
+	resp, err := http.Get(ts.URL + "/v1/project")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/project: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	eval := &stubEval{}
+	s, ts := newTestServer(t, Config{Workers: 1}, eval)
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if c := get("/healthz"); c != 200 {
+		t.Errorf("/healthz = %d", c)
+	}
+	if c := get("/readyz"); c != 200 {
+		t.Errorf("/readyz = %d", c)
+	}
+	s.SetDraining(true)
+	if c := get("/readyz"); c != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while draining = %d, want 503", c)
+	}
+	if c := get("/healthz"); c != 200 {
+		t.Errorf("/healthz while draining = %d, want 200", c)
+	}
+}
+
+func TestDebugSurfaceMounted(t *testing.T) {
+	eval := &stubEval{}
+	_, ts := newTestServer(t, Config{Workers: 1, Obs: obs.New("swappd")}, eval)
+	post(t, ts.URL+"/v1/project", reqBT)
+	resp, err := http.Get(ts.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics.json = %d", resp.StatusCode)
+	}
+	var m obs.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Counter("server.requests"); !ok || v < 1 {
+		t.Errorf("debug surface does not see server.requests: %+v", m.Counters)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	eval := &stubEval{}
+	s, ts := newTestServer(t, Config{Workers: 1, CacheSize: 2}, eval)
+	body := func(r int) string {
+		return fmt.Sprintf(`{"target":"power6-575","bench":"BT-MZ","class":"C","ranks":%d}`, r)
+	}
+	post(t, ts.URL+"/v1/project", body(16)) // cache: 16
+	post(t, ts.URL+"/v1/project", body(32)) // cache: 32,16
+	post(t, ts.URL+"/v1/project", body(16)) // hit; cache: 16,32
+	post(t, ts.URL+"/v1/project", body(64)) // evicts 32; cache: 64,16
+	if got := s.CacheLen(); got != 2 {
+		t.Fatalf("cache len = %d, want 2", got)
+	}
+	post(t, ts.URL+"/v1/project", body(16)) // still hit
+	if n := eval.calls.Load(); n != 3 {
+		t.Errorf("evaluations = %d, want 3 (16 stayed resident)", n)
+	}
+	post(t, ts.URL+"/v1/project", body(32)) // evicted: re-evaluates
+	if n := eval.calls.Load(); n != 4 {
+		t.Errorf("evaluations = %d, want 4 (32 was evicted)", n)
+	}
+}

@@ -42,28 +42,36 @@ func FormatSeconds(s Seconds) string {
 	}
 }
 
-// FormatBytes renders a byte count with a binary prefix (B/KiB/MiB/GiB).
+// FormatBytes renders a byte count with a binary prefix (B/KiB/MiB/GiB),
+// keeping three significant digits like FormatSeconds. The prefix is chosen
+// by magnitude, so negative counts format symmetrically to positive ones.
 func FormatBytes(b Bytes) string {
+	abs := b
+	if abs < 0 {
+		abs = -abs
+	}
 	switch {
-	case b < KiB:
+	case abs < KiB:
 		return fmt.Sprintf("%dB", b)
-	case b < MiB:
-		return fmt.Sprintf("%gKiB", float64(b)/float64(KiB))
-	case b < GiB:
-		return fmt.Sprintf("%gMiB", float64(b)/float64(MiB))
+	case abs < MiB:
+		return fmt.Sprintf("%.3gKiB", float64(b)/float64(KiB))
+	case abs < GiB:
+		return fmt.Sprintf("%.3gMiB", float64(b)/float64(MiB))
 	default:
-		return fmt.Sprintf("%gGiB", float64(b)/float64(GiB))
+		return fmt.Sprintf("%.3gGiB", float64(b)/float64(GiB))
 	}
 }
 
-// FormatRate renders a bandwidth in bytes/second with a suitable prefix.
+// FormatRate renders a bandwidth in bytes/second with a suitable prefix,
+// chosen by magnitude so negative rates keep their natural prefix.
 func FormatRate(bytesPerSec float64) string {
+	abs := math.Abs(bytesPerSec)
 	switch {
-	case bytesPerSec < 1e3:
+	case abs < 1e3:
 		return fmt.Sprintf("%.3gB/s", bytesPerSec)
-	case bytesPerSec < 1e6:
+	case abs < 1e6:
 		return fmt.Sprintf("%.3gKB/s", bytesPerSec/1e3)
-	case bytesPerSec < 1e9:
+	case abs < 1e9:
 		return fmt.Sprintf("%.3gMB/s", bytesPerSec/1e6)
 	default:
 		return fmt.Sprintf("%.3gGB/s", bytesPerSec/1e9)

@@ -17,6 +17,13 @@ func TestFormatSeconds(t *testing.T) {
 		{2.5e-6, "2.5µs"},
 		{3.25e-3, "3.25ms"},
 		{42.5, "42.5s"},
+		// Boundaries land in the coarser unit (the switch is exclusive below).
+		{1e-6, "1µs"},
+		{1e-3, "1ms"},
+		{1, "1s"},
+		// Negative durations keep their natural prefix via the abs() switch.
+		{-2.5e-6, "-2.5µs"},
+		{-42.5, "-42.5s"},
 	}
 	for _, c := range cases {
 		if got := FormatSeconds(c.in); got != c.want {
@@ -25,15 +32,32 @@ func TestFormatSeconds(t *testing.T) {
 	}
 }
 
+// TestFormatBytes pins the 3-significant-digit clamp: before the fix,
+// FormatBytes(1234567) printed the full float64 mantissa
+// ("1.1773748397827148MiB"), leaking unbounded precision into reports.
 func TestFormatBytes(t *testing.T) {
 	cases := []struct {
 		in   Bytes
 		want string
 	}{
+		{0, "0B"},
 		{512, "512B"},
 		{KiB, "1KiB"},
 		{4 * MiB, "4MiB"},
 		{2 * GiB, "2GiB"},
+		// Non-round counts clamp to 3 significant digits.
+		{1234567, "1.18MiB"},
+		{1536, "1.5KiB"},
+		{KiB + 1, "1KiB"},
+		{5*GiB + 123*MiB, "5.12GiB"},
+		// Exactly-1 boundaries: the first count in each prefix band.
+		{KiB - 1, "1023B"},
+		{MiB, "1MiB"},
+		{GiB, "1GiB"},
+		// Negative counts pick the prefix by magnitude, not by sign.
+		{-512, "-512B"},
+		{-4 * MiB, "-4MiB"},
+		{-1234567, "-1.18MiB"},
 	}
 	for _, c := range cases {
 		if got := FormatBytes(c.in); got != c.want {
@@ -43,11 +67,28 @@ func TestFormatBytes(t *testing.T) {
 }
 
 func TestFormatRate(t *testing.T) {
-	if got := FormatRate(2e9); got != "2GB/s" {
-		t.Errorf("FormatRate(2e9) = %q", got)
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0B/s"},
+		{500, "500B/s"},
+		{2e9, "2GB/s"},
+		{1234567, "1.23MB/s"},
+		// Exactly-1 boundaries promote to the next prefix.
+		{1e3, "1KB/s"},
+		{1e6, "1MB/s"},
+		{1e9, "1GB/s"},
+		// Negative rates keep the magnitude's prefix (previously every
+		// negative value fell through to the B/s branch).
+		{-500, "-500B/s"},
+		{-2e9, "-2GB/s"},
+		{-1234567, "-1.23MB/s"},
 	}
-	if got := FormatRate(500); got != "500B/s" {
-		t.Errorf("FormatRate(500) = %q", got)
+	for _, c := range cases {
+		if got := FormatRate(c.in); got != c.want {
+			t.Errorf("FormatRate(%v) = %q, want %q", c.in, got, c.want)
+		}
 	}
 }
 

@@ -24,6 +24,7 @@
 package swapp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -109,6 +110,12 @@ func (r Request) withDefaults() (Request, error) {
 	return r, nil
 }
 
+// Normalized validates the request and returns it with defaults filled
+// (empty Base becomes the paper's Hydra). Services that key caches on
+// request contents should normalise first, so that equivalent requests
+// share an entry.
+func (r Request) Normalized() (Request, error) { return r.withDefaults() }
+
 // Result is a finished projection, optionally with its validation against
 // a measured run.
 type Result struct {
@@ -139,15 +146,23 @@ func (r *Result) String() string {
 // and the combined compute + communication projection. The target machine
 // is never given the application.
 func Project(req Request) (*Result, error) {
+	return ProjectContext(context.Background(), req)
+}
+
+// ProjectContext is Project with cancellation: the evaluation aborts
+// promptly with ctx.Err() at stage boundaries when ctx is cancelled or its
+// deadline expires. The context has no effect on the numbers — a completed
+// projection is byte-identical to Project's.
+func ProjectContext(ctx context.Context, req Request) (*Result, error) {
 	req, err := req.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	pipe, app, err := prepare(req)
+	pipe, app, err := prepare(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	proj, err := pipe.Project(app, req.Ranks)
+	proj, err := pipe.ProjectCtx(ctx, app, req.Ranks)
 	if err != nil {
 		return nil, err
 	}
@@ -158,15 +173,21 @@ func Project(req Request) (*Result, error) {
 // target — the ground truth a SWAPP user does not have — and reports the
 // projection error.
 func ProjectAndValidate(req Request) (*Result, error) {
+	return ProjectAndValidateContext(context.Background(), req)
+}
+
+// ProjectAndValidateContext is ProjectAndValidate with cancellation,
+// under the same contract as ProjectContext.
+func ProjectAndValidateContext(ctx context.Context, req Request) (*Result, error) {
 	req, err := req.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	pipe, app, err := prepare(req)
+	pipe, app, err := prepare(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	v, err := pipe.Validate(app, req.Ranks)
+	v, err := pipe.ValidateCtx(ctx, app, req.Ranks)
 	if err != nil {
 		return nil, err
 	}
@@ -174,15 +195,15 @@ func ProjectAndValidate(req Request) (*Result, error) {
 }
 
 // prepare builds the pipeline and app model for a request.
-func prepare(req Request) (*core.Pipeline, *core.AppModel, error) {
+func prepare(ctx context.Context, req Request) (*core.Pipeline, *core.AppModel, error) {
 	base := arch.MustGet(req.Base)
 	target := arch.MustGet(req.Target)
 	counts := charCountsFor(req.Bench, req.Class, req.Ranks)
-	pipe, err := core.NewPipelineOpts(base, target, counts, core.Options{Workers: req.Workers, Obs: req.Obs})
+	pipe, err := core.NewPipelineCtx(ctx, base, target, counts, core.Options{Workers: req.Workers, Obs: req.Obs})
 	if err != nil {
 		return nil, nil, err
 	}
-	app, err := pipe.CharacterizeApp(req.Bench, req.Class, counts)
+	app, err := pipe.CharacterizeAppCtx(ctx, req.Bench, req.Class, counts)
 	if err != nil {
 		return nil, nil, err
 	}
