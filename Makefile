@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz cover serve-smoke
+.PHONY: check build vet test race bench fuzz cover serve-smoke chaos
 
 ## check: everything CI runs — vet, build, full tests, race tests.
 check: vet build test race
@@ -32,9 +32,17 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalSpec$$' -fuzztime 10s ./internal/persist
 
 # End-to-end smoke of the swappd service: start it, health-check, one
-# real cached /v1/project round-trip (second call must hit), clean drain.
+# real cached /v1/project round-trip (second call must hit), clean drain —
+# then again with -faults arming an evaluation panic: 500, stay up, retry.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Fault-tolerance suite under the race detector with shuffled order:
+# injected faults, recovered panics, breaker trips, GA quarantine,
+# degraded-input projections. Fast — the heavy grids are elsewhere.
+chaos:
+	$(GO) test -race -shuffle=on -timeout 600s \
+		-run 'Chaos|Fault|Inject|Panic|Breaker|Quarantine|Degraded|Lenient|Dropped|GridGap' ./...
 
 # Statement coverage of the -short suite; CI enforces a 72% floor.
 cover:

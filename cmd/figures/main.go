@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -38,31 +39,59 @@ func (f *figList) Set(v string) error {
 	return nil
 }
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the CLI body, factored for tests: parse args, generate, render.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var figs figList
 	var (
-		all     = flag.Bool("all", false, "regenerate everything")
-		table1  = flag.Bool("table1", false, "regenerate Table 1")
-		table2  = flag.Bool("table2", false, "regenerate Table 2")
-		summary = flag.Bool("summary", false, "regenerate the §4 summary statistics")
-		csvDir  = flag.String("csv", "", "directory to also write CSV files into")
-		quiet   = flag.Bool("q", false, "suppress progress output")
-		workers = flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS, 1 = serial); output is identical either way")
+		all     = fs.Bool("all", false, "regenerate everything")
+		table1  = fs.Bool("table1", false, "regenerate Table 1")
+		table2  = fs.Bool("table2", false, "regenerate Table 2")
+		summary = fs.Bool("summary", false, "regenerate the §4 summary statistics")
+		csvDir  = fs.String("csv", "", "directory to also write CSV files into")
+		quiet   = fs.Bool("q", false, "suppress progress output")
+		workers = fs.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS, 1 = serial); output is identical either way")
 
-		traceOut  = flag.String("trace", "", "write a JSON span trace (spans + metrics) to this file")
-		metrics   = flag.Bool("metrics", false, "print collected metrics to stderr on exit")
-		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof, expvar and metrics on this address (e.g. localhost:6060)")
+		traceOut  = fs.String("trace", "", "write a JSON span trace (spans + metrics) to this file")
+		metrics   = fs.Bool("metrics", false, "print collected metrics to stderr on exit")
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof, expvar and metrics on this address (e.g. localhost:6060)")
 	)
-	flag.Var(&figs, "fig", "figure number to regenerate (repeatable, 3–9)")
-	flag.Parse()
+	fs.Var(&figs, "fig", "figure number to regenerate (repeatable, 3–9)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "figures: "+format+"\n", a...)
+		return 1
+	}
 
 	if *all {
 		*table1, *table2, *summary = true, true, true
 		figs = []int{3, 4, 5, 6, 7, 8, 9}
 	}
 	if !*table1 && !*table2 && !*summary && len(figs) == 0 {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
+	}
+
+	// Validate output destinations before the (potentially long) generation,
+	// so a bad path fails in milliseconds rather than after minutes.
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fail("cannot create CSV directory: %v", err)
+		}
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fail("cannot write trace: %v", err)
+		}
+		traceFile = f
+		defer traceFile.Close()
 	}
 
 	// Observability root: nil (zero-cost no-op) unless requested. Figures
@@ -74,50 +103,30 @@ func main() {
 	if *debugAddr != "" {
 		addr, stop, err := obs.ServeDebug(*debugAddr, scope)
 		if err != nil {
-			fatal("debug server: %v", err)
+			return fail("debug server: %v", err)
 		}
 		defer stop()
-		fmt.Fprintf(os.Stderr, "figures: debug server on http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(stderr, "figures: debug server on http://%s/debug/pprof/\n", addr)
 	}
-	defer func() {
-		scope.End()
-		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				fatal("%v", err)
-			}
-			werr := scope.WriteTrace(f)
-			if cerr := f.Close(); werr == nil {
-				werr = cerr
-			}
-			if werr != nil {
-				fatal("writing trace: %v", werr)
-			}
-			fmt.Fprintf(os.Stderr, "figures: trace written to %s\n", *traceOut)
-		}
-		if *metrics {
-			scope.Metrics().WriteText(os.Stderr)
-		}
-	}()
 
 	r := figures.NewRunner()
 	r.Workers = *workers
 	r.Obs = scope
 	if !*quiet {
 		r.Verbose = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "… "+format+"\n", args...)
+			fmt.Fprintf(stderr, "… "+format+"\n", args...)
 		}
 	}
 
 	if *table2 {
-		fmt.Println(report.Table2())
+		fmt.Fprintln(stdout, report.Table2())
 	}
 	if *table1 {
 		rows, err := r.Table1()
 		if err != nil {
-			fatal("%v", err)
+			return fail("%v", err)
 		}
-		fmt.Println(report.Table1(rows))
+		fmt.Fprintln(stdout, report.Table1(rows))
 	}
 
 	// Figure number → generator.
@@ -133,31 +142,39 @@ func main() {
 	for _, n := range figs {
 		f, err := gen[n]()
 		if err != nil {
-			fatal("figure %d: %v", n, err)
+			return fail("figure %d: %v", n, err)
 		}
-		fmt.Println(report.Figure(f))
+		fmt.Fprintln(stdout, report.Figure(f))
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, fmt.Sprintf("%s.csv", f.ID))
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fatal("%v", err)
-			}
 			if err := os.WriteFile(path, []byte(report.FigureCSV(f)), 0o644); err != nil {
-				fatal("%v", err)
+				return fail("%v", err)
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			fmt.Fprintf(stderr, "wrote %s\n", path)
 		}
 	}
 
 	if *summary {
 		s, err := r.Summarize()
 		if err != nil {
-			fatal("%v", err)
+			return fail("%v", err)
 		}
-		fmt.Println(report.Summary(s))
+		fmt.Fprintln(stdout, report.Summary(s))
 	}
-}
 
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
-	os.Exit(1)
+	scope.End()
+	if traceFile != nil {
+		werr := scope.WriteTrace(traceFile)
+		if cerr := traceFile.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fail("writing trace: %v", werr)
+		}
+		fmt.Fprintf(stderr, "figures: trace written to %s\n", *traceOut)
+	}
+	if *metrics {
+		scope.Metrics().WriteText(stderr)
+	}
+	return 0
 }

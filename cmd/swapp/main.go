@@ -22,9 +22,13 @@ import (
 	"strings"
 
 	swapp "repro"
+	"repro/internal/core"
+	"repro/internal/imb"
 	"repro/internal/nas"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/report"
+	"repro/internal/spec"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -44,6 +48,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut  = fs.String("trace", "", "write a JSON span trace (spans + metrics) to this file")
 		metrics   = fs.Bool("metrics", false, "print collected metrics to stderr on exit")
 		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof, expvar and metrics on this address (e.g. localhost:6060)")
+		specBase  = fs.String("spec-base", "", "published SPEC results for the base machine (JSON, see internal/persist)")
+		specTgt   = fs.String("spec-target", "", "published SPEC results for the target machine")
+		imbBase   = fs.String("imb-base", "", "published IMB tables for the base machine (JSON, comma-separated for multiple core counts)")
+		imbTgt    = fs.String("imb-target", "", "published IMB tables for the target machine")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -52,6 +60,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(*class) != 1 {
 		fmt.Fprintln(stderr, "swapp: class must be a single letter (C or D)")
 		return 1
+	}
+
+	data, err := loadData(*specBase, *specTgt, *imbBase, *imbTgt)
+	if err != nil {
+		fmt.Fprintf(stderr, "swapp: %v\n", err)
+		return 1
+	}
+
+	// Open the trace destination before the (potentially long) projection,
+	// so a bad path fails in milliseconds rather than after minutes.
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "swapp: cannot write trace: %v\n", err)
+			return 1
+		}
+		traceFile = f
+		defer traceFile.Close()
 	}
 
 	// The observability root: nil (zero-cost no-op) unless requested.
@@ -77,10 +104,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Ranks:   *ranks,
 		Workers: *workers,
 		Obs:     scope,
+		Data:    data,
 	}
 
 	var res *swapp.Result
-	var err error
 	if *validate {
 		res, err = swapp.ProjectAndValidate(req)
 	} else {
@@ -94,14 +121,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprint(stdout, report.Projection(res.Projection, res.Validation))
 
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintf(stderr, "swapp: %v\n", err)
-			return 1
-		}
-		werr := scope.WriteTrace(f)
-		if cerr := f.Close(); werr == nil {
+	if traceFile != nil {
+		werr := scope.WriteTrace(traceFile)
+		if cerr := traceFile.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
@@ -114,4 +136,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scope.Metrics().WriteText(stderr)
 	}
 	return 0
+}
+
+// loadData reads published benchmark data files into a pipeline pre-seed.
+// Counts or suites not supplied are measured by the pipeline as usual. The
+// lenient decoders are used on purpose: partial or damaged published data
+// degrades the projection (recorded in its Quality block) instead of
+// refusing to run, while unreadable files fail fast with the path in the
+// message.
+func loadData(specBase, specTarget, imbBase, imbTarget string) (*core.PipelineData, error) {
+	if specBase == "" && specTarget == "" && imbBase == "" && imbTarget == "" {
+		return nil, nil
+	}
+	data := &core.PipelineData{}
+	loadSpec := func(path string, dst *map[string]spec.Result) error {
+		if path == "" {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("cannot read SPEC data: %v", err)
+		}
+		_, results, defects, err := persist.UnmarshalSpecLenient(b)
+		if err != nil {
+			return fmt.Errorf("cannot load SPEC data %s: %v", path, err)
+		}
+		*dst = results
+		data.Defects = append(data.Defects, defects...)
+		return nil
+	}
+	loadIMB := func(paths string, dst *map[int]*imb.Table) error {
+		if paths == "" {
+			return nil
+		}
+		m := map[int]*imb.Table{}
+		for _, path := range strings.Split(paths, ",") {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("cannot read IMB data: %v", err)
+			}
+			t, defects, err := persist.UnmarshalIMBLenient(b)
+			if err != nil {
+				return fmt.Errorf("cannot load IMB data %s: %v", path, err)
+			}
+			m[t.Ranks] = t
+			data.Defects = append(data.Defects, defects...)
+		}
+		*dst = m
+		return nil
+	}
+	if err := loadSpec(specBase, &data.SpecBase); err != nil {
+		return nil, err
+	}
+	if err := loadSpec(specTarget, &data.SpecTarget); err != nil {
+		return nil, err
+	}
+	if err := loadIMB(imbBase, &data.IMBBase); err != nil {
+		return nil, err
+	}
+	if err := loadIMB(imbTarget, &data.IMBTarget); err != nil {
+		return nil, err
+	}
+	return data, nil
 }

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -57,23 +58,38 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		evalWorkers = fs.Int("eval-workers", 0, "engine worker pool per evaluation (0 = GOMAXPROCS); does not affect the numbers")
 		grace       = fs.Duration("grace", 30*time.Second, "drain deadline after SIGTERM/SIGINT")
 		traceReqs   = fs.Bool("trace-requests", false, "record a span per evaluation (grows memory on long runs)")
+		stageTO     = fs.Duration("stage-timeout", 0, "per-stage evaluation budget, distinct from the request deadline (0 = off)")
+		brkThresh   = fs.Int("breaker-threshold", 0, "consecutive failures tripping the circuit breaker (0 = default 5, negative = off)")
+		brkCooldown = fs.Duration("breaker-cooldown", 0, "open-circuit rejection window before a probe (0 = default 10s)")
+		faults      = fs.String("faults", os.Getenv("SWAPP_FAULTS"),
+			"fault-injection spec, e.g. 'server.eval=panic#1' (default $SWAPP_FAULTS; testing only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if err := faultinject.Arm(*faults); err != nil {
+		fmt.Fprintf(stderr, "swappd: %v\n", err)
+		return 2
+	}
+	if faultinject.Enabled() {
+		fmt.Fprintf(stderr, "swappd: FAULT INJECTION ARMED at %v — not for production\n", faultinject.Points())
 	}
 
 	scope := obs.New("swappd")
 	defer scope.End()
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cacheSize,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		EvalWorkers:    *evalWorkers,
-		Obs:            scope,
-		TraceRequests:  *traceReqs,
-		Eval:           evalOverride,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheSize:        *cacheSize,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		EvalWorkers:      *evalWorkers,
+		Obs:              scope,
+		TraceRequests:    *traceReqs,
+		StageTimeout:     *stageTO,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+		Eval:             evalOverride,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -83,7 +99,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	}
 	fmt.Fprintf(stdout, "swappd listening on %s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := newHTTPServer(srv.Handler())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -113,4 +129,19 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	}
 	fmt.Fprintln(stderr, "swappd: drained")
 	return 0
+}
+
+// newHTTPServer hardens the listener against slow or hostile clients: a
+// stalled request line, drip-fed body, or oversized header set cannot pin
+// a connection goroutine forever. WriteTimeout stays unset on purpose —
+// evaluations legitimately take minutes and the per-request deadline
+// already bounds them.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 }

@@ -1,0 +1,79 @@
+package swapp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/quality"
+	"repro/internal/report"
+)
+
+// TestProjectSurvivesInjectedFaults is the engine half of the acceptance
+// scenario from DESIGN.md §11: with a corrupted SPEC row (dropped target
+// benchmark), a truncated target IMB size grid, and a panic in one GA
+// fitness evaluation all armed at once, a projection still completes and
+// reports the damage in its Quality block instead of failing or crashing.
+func TestProjectSurvivesInjectedFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline in -short mode")
+	}
+	defer faultinject.Disarm()
+	if err := faultinject.Arm("core.spec.target=drop#1,core.imb.target=drop#1,ga.eval=panic#1"); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Project(Request{
+		Target: TargetPower6,
+		Bench:  LU, Class: ClassC, Ranks: 16,
+	})
+	if err != nil {
+		t.Fatalf("degraded projection must complete, got: %v", err)
+	}
+	if res.TotalSeconds() <= 0 {
+		t.Fatal("non-positive degraded projection")
+	}
+
+	q := res.Projection.Quality
+	if q.Empty() {
+		t.Fatal("three armed faults left an empty Quality block")
+	}
+	codes := map[quality.Code]bool{}
+	for _, d := range q.Defects() {
+		codes[d.Code] = true
+	}
+	if !codes[quality.MissingSpecBench] {
+		t.Errorf("dropped SPEC benchmark not recorded: %v", q.Defects())
+	}
+	if !codes[quality.GAQuarantine] {
+		t.Errorf("quarantined GA evaluation not recorded: %v", q.Defects())
+	}
+	if g := q.Grade(); g == quality.GradeA {
+		t.Errorf("overall grade = %s with major defects present", g)
+	}
+
+	// The degradation surfaces to the operator at both report layers.
+	if s := res.String(); !strings.Contains(s, "quality grade") {
+		t.Errorf("result summary missing the quality grade:\n%s", s)
+	}
+	if full := report.Projection(res.Projection, nil); !strings.Contains(full, "quality: grade") {
+		t.Errorf("full report missing the quality section:\n%s", full)
+	}
+
+	// Disarmed, the same request runs clean again: injection leaves no
+	// residue in package state.
+	faultinject.Disarm()
+	clean, err := Project(Request{
+		Target: TargetPower6,
+		Bench:  LU, Class: ClassC, Ranks: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Projection.Quality.Empty() {
+		t.Errorf("clean run after disarm carries defects: %v", clean.Projection.Quality.Defects())
+	}
+	if strings.Contains(clean.String(), "quality:") {
+		t.Error("clean run prints a quality section")
+	}
+}

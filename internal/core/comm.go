@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/imb"
 	"repro/internal/mpi"
 	"repro/internal/mpiprof"
 	"repro/internal/obs"
+	"repro/internal/quality"
 	"repro/internal/units"
 )
 
@@ -95,18 +97,21 @@ const waitBlend = 0.8
 // both machines. computeRatio is the surrogate-projected target/base
 // compute-time ratio, needed for the WaitTime scaling factor.
 func (p *Pipeline) ProjectComm(app *AppModel, ck int, computeRatio float64) (*CommProjection, error) {
-	return p.projectComm(p.Obs, app, ck, computeRatio)
+	return p.projectComm(p.Obs, app, ck, computeRatio, nil)
 }
 
 // projectComm is the implementation, with its span attached under parent.
-func (p *Pipeline) projectComm(parent *obs.Scope, app *AppModel, ck int, computeRatio float64) (*CommProjection, error) {
+// Degraded-mode fallbacks — unpriceable routines, grid-gap extrapolation,
+// count substitution, a missing compute ratio — are recorded on rec
+// (nil-safe).
+func (p *Pipeline) projectComm(parent *obs.Scope, app *AppModel, ck int, computeRatio float64, rec *quality.Report) (*CommProjection, error) {
 	sp := parent.Child(fmt.Sprintf("core.comm.%s@%d", app.Name(), ck))
 	defer sp.End()
 	prof, ok := app.Profiles[ck]
 	if !ok {
 		return nil, fmt.Errorf("core: no base profile at %d ranks for %s", ck, app.Name())
 	}
-	baseT, targetT, err := p.imbAt(ck)
+	baseT, targetT, err := p.imbAt(ck, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -126,11 +131,8 @@ func (p *Pipeline) projectComm(parent *obs.Scope, app *AppModel, ck int, compute
 	var rows []row
 	for _, rt := range prof.Routines() {
 		agg := prof.RoutineAggregate(rt)
-		bt, tt, err := mapRoutineTransfer(rt, agg, baseT, targetT,
-			p.Base.CoresPerNode, p.Target.CoresPerNode)
-		if err != nil {
-			return nil, err
-		}
+		bt, tt := mapRoutineTransfer(rt, agg, baseT, targetT,
+			p.Base.CoresPerNode, p.Target.CoresPerNode, rec)
 		rows = append(rows, row{rt: rt, agg: agg, baseT: bt / ranks, tgtT: tt / ranks})
 		baseTransferSum += bt / ranks
 		targetTransferSum += tt / ranks
@@ -139,7 +141,17 @@ func (p *Pipeline) projectComm(parent *obs.Scope, app *AppModel, ck int, compute
 	if baseTransferSum > 0 {
 		commRatio = targetTransferSum / baseTransferSum
 	}
-	out.WaitScale = waitBlend*computeRatio + (1-waitBlend)*commRatio
+	if math.IsNaN(computeRatio) || math.IsInf(computeRatio, 0) || computeRatio <= 0 {
+		// No usable compute ratio to blend with (a degraded compute
+		// projection): carry base WaitTime over unscaled.
+		rec.Add(quality.Defect{
+			Code: quality.WaitScaleDefault, Component: quality.Comm, Severity: quality.Minor,
+			Detail: fmt.Sprintf("no usable compute ratio (%v) for the wait-scale blend; WaitScale defaulted to 1", computeRatio),
+		})
+		out.WaitScale = 1
+	} else {
+		out.WaitScale = waitBlend*computeRatio + (1-waitBlend)*commRatio
+	}
 
 	// Second pass: Eq. 4 wait extraction and Eq. 5 target assembly. The
 	// transfer portion of the profiled elapsed maps to the target by the
@@ -242,17 +254,45 @@ func splitX(se *mpiprof.SizeEntry, cpn int) (xIntra, xInter float64) {
 //     machines' fitted overhead ratio;
 //   - blocking p2p and collectives map directly onto the matching IMB
 //     benchmark at the profiled message size.
-func mapRoutineTransfer(rt mpi.Routine, agg *mpiprof.RoutineProfile, baseT, targetT *imb.Table, baseCPN, targetCPN int) (base, target units.Seconds, err error) {
+//
+// A routine missing from either table cannot be priced. Instead of
+// failing the whole projection, it returns zero transfer — the caller's
+// Eq. 4 then treats the routine's entire elapsed as WaitTime, scaled by
+// the wait-scale factor — and records a DroppedMPIRoutine defect on rec.
+// Size-grid gaps bridged by extrapolation are recorded as IMBGridGap.
+func mapRoutineTransfer(rt mpi.Routine, agg *mpiprof.RoutineProfile, baseT, targetT *imb.Table, baseCPN, targetCPN int, rec *quality.Report) (base, target units.Seconds) {
+	gapCheck := func(size units.Bytes, nb bool) {
+		var gap bool
+		var side string
+		switch {
+		case nb && baseT.NBGap(size):
+			gap, side = true, baseT.Machine
+		case nb && targetT.NBGap(size):
+			gap, side = true, targetT.Machine
+		case !nb && baseT.CoverageGap(rt, size):
+			gap, side = true, baseT.Machine
+		case !nb && targetT.CoverageGap(rt, size):
+			gap, side = true, targetT.Machine
+		}
+		if gap {
+			rec.Add(quality.Defect{
+				Code: quality.IMBGridGap, Component: quality.Comm, Severity: quality.Minor,
+				Detail: fmt.Sprintf("%s lookup at %s extrapolated across a hole in the %s IMB size grid",
+					rt, units.FormatBytes(size), side),
+			})
+		}
+	}
 	switch rt {
 	case mpi.RoutineWaitall:
 		for _, size := range agg.SortedSizes() {
 			se := agg.Sizes[size]
 			bi, be := splitX(se, baseCPN)
 			ti, te := splitX(se, targetCPN)
+			gapCheck(size, true)
 			base += units.Seconds(se.Calls) * baseT.TransferNB(size, bi, be)
 			target += units.Seconds(se.Calls) * targetT.TransferNB(size, ti, te)
 		}
-		return base, target, nil
+		return base, target
 
 	case mpi.RoutineIsend, mpi.RoutineIrecv:
 		// Posting cost: scale the profiled elapsed by the machines'
@@ -261,12 +301,19 @@ func mapRoutineTransfer(rt mpi.Routine, agg *mpiprof.RoutineProfile, baseT, targ
 		if baseT.NBOverhead() > 0 && targetT.NBOverhead() > 0 {
 			ratio = targetT.NBOverhead() / baseT.NBOverhead()
 		}
-		return agg.Elapsed, agg.Elapsed * ratio, nil
+		return agg.Elapsed, agg.Elapsed * ratio
 
 	case mpi.RoutineBarrier:
+		if baseT.PerOp[mpi.RoutineBarrier] == nil || targetT.PerOp[mpi.RoutineBarrier] == nil {
+			rec.Add(quality.Defect{
+				Code: quality.DroppedMPIRoutine, Component: quality.Comm, Severity: quality.Major,
+				Detail: "MPI_Barrier not measured in the IMB tables; its elapsed treated as pure WaitTime",
+			})
+			return 0, 0
+		}
 		base = units.Seconds(agg.Calls) * baseT.BarrierTime()
 		target = units.Seconds(agg.Calls) * targetT.BarrierTime()
-		return base, target, nil
+		return base, target
 
 	default:
 		// Direct Eq. 3 lookup per message size.
@@ -276,17 +323,23 @@ func mapRoutineTransfer(rt mpi.Routine, agg *mpiprof.RoutineProfile, baseT, targ
 		}
 		for _, size := range agg.SortedSizes() {
 			se := agg.Sizes[size]
-			bt, err := baseT.Time(imbRoutine, size)
-			if err != nil {
-				return 0, 0, fmt.Errorf("core: %s not in base IMB table: %w", rt, err)
+			bt, errB := baseT.Time(imbRoutine, size)
+			tt, errT := targetT.Time(imbRoutine, size)
+			if errB != nil || errT != nil {
+				side := baseT.Machine
+				if errB == nil {
+					side = targetT.Machine
+				}
+				rec.Add(quality.Defect{
+					Code: quality.DroppedMPIRoutine, Component: quality.Comm, Severity: quality.Major,
+					Detail: fmt.Sprintf("%s not in the %s IMB table; its elapsed treated as pure WaitTime", rt, side),
+				})
+				return 0, 0
 			}
-			tt, err := targetT.Time(imbRoutine, size)
-			if err != nil {
-				return 0, 0, fmt.Errorf("core: %s not in target IMB table: %w", rt, err)
-			}
+			gapCheck(size, false)
 			base += units.Seconds(se.Calls) * bt
 			target += units.Seconds(se.Calls) * tt
 		}
-		return base, target, nil
+		return base, target
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/hpm"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/quality"
 	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/units"
@@ -246,14 +247,15 @@ func (p *Pipeline) ProjectCompute(app *AppModel, ci int) (*ComputeProjection, er
 
 // ProjectComputeOpts is ProjectCompute with ablation switches.
 func (p *Pipeline) ProjectComputeOpts(app *AppModel, ci int, opts ComputeOptions) (*ComputeProjection, error) {
-	return p.projectComputeCtx(context.Background(), p.Obs, app, ci, opts)
+	return p.projectComputeCtx(context.Background(), p.Obs, app, ci, opts, nil)
 }
 
 // projectComputeCtx is the implementation, with its span attached under
 // parent (p.Obs for direct calls, the enclosing projection's span when
 // called from project). ctx is checked before each GA ensemble member, the
-// expensive stage of the compute projection.
-func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app *AppModel, ci int, opts ComputeOptions) (*ComputeProjection, error) {
+// expensive stage of the compute projection. Degraded-mode fallbacks (pool
+// intersection, GA quarantine) are recorded on rec (nil-safe).
+func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app *AppModel, ci int, opts ComputeOptions, rec *quality.Report) (*ComputeProjection, error) {
 	cp, ok := app.Counters[ci]
 	if !ok {
 		return nil, fmt.Errorf("core: no counters at %d ranks for %s", ci, app.Name())
@@ -270,8 +272,21 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 
 	appVec := normalize(cp.CharacterVector(), scales)
 
-	// Step 5: GA surrogate search over the pool.
-	names := spec.SortedNames(p.SpecBase)
+	// Step 5: GA surrogate search over the pool. The pool is the
+	// intersection of the two machines' benchmark sets: a base-only
+	// benchmark has no target runtime and cannot contribute to the ratio.
+	// On complete data the intersection IS the base pool, so this is the
+	// identity there; a shrunk pool was already recorded as a
+	// MissingSpecBench defect when the pipeline analysed its data.
+	var names []string
+	for _, name := range spec.SortedNames(p.SpecBase) {
+		if _, ok := p.SpecTarget[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) < 2 {
+		return nil, fmt.Errorf("core: surrogate pool too small: base and target share %d benchmarks", len(names))
+	}
 	pool := make([][]float64, len(names))
 	for i, name := range names {
 		rb := p.SpecBase[name]
@@ -348,7 +363,16 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 	var bestGenome []float64
 	bestFitness := math.Inf(1)
 	var ratioSum, ratioWeight float64
+	var quarantined, unusable int
 	for _, res := range members {
+		quarantined += res.Quarantined
+		// A member whose whole population was quarantined (every fitness
+		// +Inf) has no meaningful surrogate: skip it rather than poison the
+		// ensemble mean with NaN.
+		if math.IsInf(res.BestFitness, 1) || math.IsNaN(res.BestFitness) {
+			unusable++
+			continue
+		}
 		var wsum, baseMix, targetMix float64
 		for _, w := range res.Best {
 			wsum += w
@@ -362,6 +386,10 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 			baseMix += f * p.SpecBase[name].ST.Runtime
 			targetMix += f * p.SpecTarget[name].ST.Runtime
 		}
+		if wsum <= 0 || baseMix <= 0 {
+			unusable++
+			continue
+		}
 		rw := 1 / (res.BestFitness + 1e-6)
 		ratioSum += rw * targetMix / baseMix
 		ratioWeight += rw
@@ -369,6 +397,20 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 			bestFitness = res.BestFitness
 			bestGenome = res.Best
 		}
+	}
+	if ratioWeight <= 0 {
+		return nil, fmt.Errorf("core: surrogate search failed: all %d GA ensemble members quarantined", ensemble)
+	}
+	if quarantined > 0 {
+		sev := quality.Minor
+		if unusable > 0 {
+			sev = quality.Major
+		}
+		rec.Add(quality.Defect{
+			Code: quality.GAQuarantine, Component: quality.Compute, Severity: sev,
+			Detail: fmt.Sprintf("%d fitness evaluations quarantined (worst score substituted); %d/%d ensemble members usable",
+				quarantined, ensemble-unusable, ensemble),
+		})
 	}
 
 	// Normalise the best genome's coefficients for reporting (Eq. 2 with
@@ -512,7 +554,10 @@ func DebugMemberDistances(p *Pipeline, app *AppModel, ci int) []MemberDistance {
 	var out []MemberDistance
 	for _, name := range spec.SortedNames(p.SpecBase) {
 		rb := p.SpecBase[name]
-		rt := p.SpecTarget[name]
+		rt, ok := p.SpecTarget[name]
+		if !ok {
+			continue // base-only benchmark: no target ratio to report
+		}
 		v := normalize(rb.CharacterVector(), scales)
 		out = append(out, MemberDistance{
 			Bench: name,

@@ -7,9 +7,11 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/imb"
 	"repro/internal/mpi"
 	"repro/internal/mpiprof"
 	"repro/internal/nas"
+	"repro/internal/quality"
 )
 
 // Shared pipeline fixtures: building one costs a few seconds (SPEC suites
@@ -62,8 +64,23 @@ func TestNewPipelineGathersData(t *testing.T) {
 			t.Errorf("IMB tables missing at %d ranks", c)
 		}
 	}
-	if _, _, err := p.imbAt(999); err == nil {
-		t.Error("unknown core count must error")
+	// An unprepared core count falls back to the nearest shared count and
+	// records an IMBCountFallback defect on the report.
+	rec := quality.NewReport()
+	bt, tt, err := p.imbAt(999, rec)
+	if err != nil {
+		t.Fatalf("imbAt(999) with fallback counts: %v", err)
+	}
+	if bt == nil || tt == nil || bt.Ranks != 16 || tt.Ranks != 16 {
+		t.Errorf("imbAt(999) must substitute the nearest count (16), got base=%+v target=%+v", bt, tt)
+	}
+	if rec.Empty() {
+		t.Error("count fallback must record a quality defect")
+	}
+	// With no shared count at all, the fallback has nothing to offer.
+	empty := &Pipeline{IMBBase: map[int]*imb.Table{}, IMBTarget: map[int]*imb.Table{}}
+	if _, _, err := empty.imbAt(4, nil); err == nil {
+		t.Error("imbAt on an empty pipeline must error")
 	}
 }
 

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/faultinject"
+	"repro/internal/imb"
+	"repro/internal/mpi"
+	"repro/internal/quality"
+	"repro/internal/spec"
+	"repro/internal/units"
+)
+
+// defectCodes extracts the codes of a report for membership checks.
+func defectCodes(r *quality.Report) map[quality.Code]bool {
+	out := map[quality.Code]bool{}
+	for _, d := range r.Defects() {
+		out[d.Code] = true
+	}
+	return out
+}
+
+// TestDroppedRoutineBecomesWait proves the unpriceable-routine fallback: a
+// profiled routine absent from the IMB tables no longer fails the
+// projection; its elapsed is treated as pure WaitTime and a major
+// DroppedMPIRoutine defect is recorded.
+func TestDroppedRoutineBecomesWait(t *testing.T) {
+	const ranks = 4
+	const elapsed = 2e-3
+	p := synthPipeline(ranks, 1e-4, 5e-5) // tables price Bcast only
+	app := synthApp(mpi.RoutineAllreduce, ranks, elapsed)
+
+	rec := quality.NewReport()
+	const computeRatio = 0.5
+	comm, err := p.projectComm(nil, app, ranks, computeRatio, rec)
+	if err != nil {
+		t.Fatalf("unpriceable routine must degrade, not fail: %v", err)
+	}
+	if len(comm.Routines) != 1 {
+		t.Fatalf("got %d routine projections, want 1", len(comm.Routines))
+	}
+	rp := comm.Routines[0]
+	if rp.BaseTransfer != 0 || rp.TargetTransfer != 0 {
+		t.Errorf("dropped routine must carry zero transfer, got %+v", rp)
+	}
+	if rp.BaseWait != elapsed {
+		t.Errorf("dropped routine wait = %v, want full elapsed %v", rp.BaseWait, elapsed)
+	}
+	if want := elapsed * comm.WaitScale; math.Abs(rp.TargetWait-want) > 1e-15 {
+		t.Errorf("target wait = %v, want elapsed x WaitScale = %v", rp.TargetWait, want)
+	}
+	codes := defectCodes(rec)
+	if !codes[quality.DroppedMPIRoutine] {
+		t.Errorf("missing DroppedMPIRoutine defect, got %v", rec.Defects())
+	}
+	if g := rec.ComponentGrade(quality.Comm); g != quality.GradeC {
+		t.Errorf("comm grade = %s, want C (major fallback)", g)
+	}
+}
+
+// TestGridGapRecordsDefect proves truncated IMB grids degrade instead of
+// failing: lookups over the missing tail extrapolate from the surviving
+// samples and record an IMBGridGap defect.
+func TestGridGapRecordsDefect(t *testing.T) {
+	const ranks = 4
+	p := synthPipeline(ranks, 1e-4, 5e-5)
+	// Knock out the target sample at the profiled 1 KiB size; the declared
+	// grid keeps it, so the lookup bridges to the surviving 4 KiB sample.
+	delete(p.IMBTarget[ranks].PerOp[mpi.RoutineBcast], 1024)
+	app := synthApp(mpi.RoutineBcast, ranks, 1e-3)
+
+	rec := quality.NewReport()
+	comm, err := p.projectComm(nil, app, ranks, 1, rec)
+	if err != nil {
+		t.Fatalf("grid gap must degrade, not fail: %v", err)
+	}
+	if !defectCodes(rec)[quality.IMBGridGap] {
+		t.Errorf("missing IMBGridGap defect, got %v", rec.Defects())
+	}
+	if comm.TargetTotal() < 0 {
+		t.Errorf("degraded projection went negative: %v", comm.TargetTotal())
+	}
+}
+
+// TestWaitScaleDefault proves a broken compute ratio falls back to
+// WaitScale = 1 with a defect instead of propagating NaN.
+func TestWaitScaleDefault(t *testing.T) {
+	const ranks = 4
+	p := synthPipeline(ranks, 1e-4, 5e-5)
+	app := synthApp(mpi.RoutineBcast, ranks, 1e-3)
+	for _, ratio := range []float64{math.NaN(), math.Inf(1), 0, -2} {
+		rec := quality.NewReport()
+		comm, err := p.projectComm(nil, app, ranks, ratio, rec)
+		if err != nil {
+			t.Fatalf("ratio %v: %v", ratio, err)
+		}
+		if comm.WaitScale != 1 {
+			t.Errorf("ratio %v: WaitScale = %v, want 1", ratio, comm.WaitScale)
+		}
+		if !defectCodes(rec)[quality.WaitScaleDefault] {
+			t.Errorf("ratio %v: missing WaitScaleDefault defect", ratio)
+		}
+	}
+}
+
+// TestAnalyzeDataSpecIntersection pins the pool-shrink defect: base
+// benchmarks absent on the target are recorded, minor while at least 75%
+// of the pool survives and major below that.
+func TestAnalyzeDataSpecIntersection(t *testing.T) {
+	mk := func(names ...string) map[string]spec.Result {
+		out := map[string]spec.Result{}
+		for _, n := range names {
+			out[n] = spec.Result{}
+		}
+		return out
+	}
+	p := &Pipeline{
+		SpecBase:   mk("a", "b", "c", "d"),
+		SpecTarget: mk("a", "b", "c"),
+	}
+	ds := p.analyzeData(nil)
+	if len(ds) != 1 || ds[0].Code != quality.MissingSpecBench || ds[0].Severity != quality.Minor {
+		t.Errorf("1 of 4 missing: defects = %v, want one minor MissingSpecBench", ds)
+	}
+	if !strings.Contains(ds[0].Detail, "1/4") {
+		t.Errorf("detail %q does not report the shrink", ds[0].Detail)
+	}
+
+	p.SpecTarget = mk("a", "b")
+	ds = p.analyzeData(nil)
+	if len(ds) != 1 || ds[0].Severity != quality.Major {
+		t.Errorf("2 of 4 missing: defects = %v, want one major MissingSpecBench", ds)
+	}
+
+	// Clean data records nothing at all.
+	p.SpecTarget = p.SpecBase
+	if ds := p.analyzeData(nil); len(ds) != 0 {
+		t.Errorf("clean pool recorded %v", ds)
+	}
+}
+
+// TestAnalyzeDataIMBCountMismatch pins the one-sided core count defect.
+func TestAnalyzeDataIMBCountMismatch(t *testing.T) {
+	p := &Pipeline{
+		IMBBase:   map[int]*imb.Table{4: synthTable("base", 4, 1), 8: synthTable("base", 8, 1)},
+		IMBTarget: map[int]*imb.Table{4: synthTable("tgt", 4, 1)},
+	}
+	ds := p.analyzeData(nil)
+	if len(ds) != 1 || ds[0].Code != quality.MissingIMBCount {
+		t.Fatalf("defects = %v, want one MissingIMBCount", ds)
+	}
+	if !strings.Contains(ds[0].Detail, "8 ranks") {
+		t.Errorf("detail %q does not name the missing count", ds[0].Detail)
+	}
+}
+
+// TestPipelineDataSkipsRuns proves Options.Data substitutes supplied
+// benchmark data without running the suites, carrying loader defects into
+// the pipeline ledger.
+func TestPipelineDataSkipsRuns(t *testing.T) {
+	base := arch.MustGet(arch.Hydra)
+	tgt := arch.MustGet(arch.Power6)
+	loaderDefect := quality.Defect{
+		Code: quality.IMBSinglePointGrid, Component: quality.Data,
+		Severity: quality.Major, Detail: "fixture",
+	}
+	data := &PipelineData{
+		SpecBase:   map[string]spec.Result{"x": {}, "y": {}},
+		SpecTarget: map[string]spec.Result{"x": {}, "y": {}},
+		IMBBase:    map[int]*imb.Table{4: synthTable(base.Name, 4, 1e-4)},
+		IMBTarget:  map[int]*imb.Table{4: synthTable(tgt.Name, 4, 5e-5)},
+		Defects:    []quality.Defect{loaderDefect},
+	}
+	p, err := NewPipelineOpts(base, tgt, []int{4}, Options{Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Supplied data used verbatim: the real SPEC suite has 29 benchmarks,
+	// the fake one 2 — if the suite had run, the map would be replaced.
+	if len(p.SpecBase) != 2 || len(p.SpecTarget) != 2 {
+		t.Errorf("supplied SPEC data not used: %d/%d benchmarks", len(p.SpecBase), len(p.SpecTarget))
+	}
+	if p.IMBBase[4] != data.IMBBase[4] {
+		t.Error("supplied IMB table not used")
+	}
+	found := false
+	for _, d := range p.Defects {
+		if d == loaderDefect {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("loader defect not inherited: %v", p.Defects)
+	}
+}
+
+// TestInjectedSpecDrop proves the core.spec.target drop point shrinks the
+// target pool on a copy and the defect surfaces in the ledger.
+func TestInjectedSpecDrop(t *testing.T) {
+	defer faultinject.Disarm()
+	base := arch.MustGet(arch.Hydra)
+	tgt := arch.MustGet(arch.Power6)
+	full := map[string]spec.Result{"a": {}, "b": {}, "c": {}, "d": {}}
+	if err := faultinject.Arm("core.spec.target=drop#1"); err != nil {
+		t.Fatal(err)
+	}
+	data := &PipelineData{
+		SpecBase:   full,
+		SpecTarget: full,
+		IMBBase:    map[int]*imb.Table{4: synthTable(base.Name, 4, 1e-4)},
+		IMBTarget:  map[int]*imb.Table{4: synthTable(tgt.Name, 4, 5e-5)},
+	}
+	p, err := NewPipelineOpts(base, tgt, []int{4}, Options{Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SpecTarget) != 3 {
+		t.Errorf("drop left %d target benchmarks, want 3", len(p.SpecTarget))
+	}
+	if len(full) != 4 {
+		t.Error("injected drop mutated the caller's map")
+	}
+	codes := map[quality.Code]bool{}
+	for _, d := range p.Defects {
+		codes[d.Code] = true
+	}
+	if !codes[quality.MissingSpecBench] {
+		t.Errorf("dropped benchmark not recorded: %v", p.Defects)
+	}
+}
+
+// TestGridGapHelpers pins the imb coverage helpers the defect recording is
+// built on (full-grid lookups never gap; truncated grids gap above the
+// cut; TruncatedAbove never mutates the original).
+func TestGridGapHelpers(t *testing.T) {
+	tb := synthTable("m", 4, 1e-4) // Bcast at sizes 1024 and 4096
+	if tb.CoverageGap(mpi.RoutineBcast, 2048) {
+		t.Error("fully covered grid must never gap (interior)")
+	}
+	if tb.CoverageGap(mpi.RoutineBcast, 1<<30) {
+		t.Error("fully covered grid must never gap (clamped above)")
+	}
+	cut := tb.TruncatedAbove(1024)
+	if !cut.CoverageGap(mpi.RoutineBcast, 2048) {
+		t.Error("truncated grid must gap above the cut")
+	}
+	if cut.CoverageGap(mpi.RoutineBcast, 1024) {
+		t.Error("exactly-covered size must not gap")
+	}
+	if _, ok := tb.PerOp[mpi.RoutineBcast][units.Bytes(4096)]; !ok {
+		t.Error("TruncatedAbove mutated the source table")
+	}
+	if tb.CoverageGap(mpi.RoutineSendrecv, 1024) {
+		t.Error("absent routine is a missing-routine case, not a grid gap")
+	}
+}

@@ -19,14 +19,17 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/faultinject"
 	"repro/internal/hpm"
 	"repro/internal/imb"
 	"repro/internal/mpiprof"
 	"repro/internal/nas"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/quality"
 	"repro/internal/spec"
 	"repro/internal/units"
 )
@@ -58,6 +61,29 @@ type Pipeline struct {
 	// IMB + multi-Sendrecv parameter tables per core count (Eq. 3).
 	IMBBase   map[int]*imb.Table
 	IMBTarget map[int]*imb.Table
+
+	// Defects records data problems found while assembling the benchmark
+	// data (pool mismatches, count gaps, loader fallbacks). Every
+	// projection through this pipeline inherits them into its Quality
+	// report; empty for data gathered by running the benchmarks in-process.
+	Defects []quality.Defect
+}
+
+// PipelineData supplies pre-measured benchmark data to NewPipeline instead
+// of running the suites in-process — the paper's actual workflow, where
+// target-machine numbers are published tables, not local runs. Any nil
+// field (or missing IMB count) is still gathered by running the benchmark;
+// provided parts are used as-is, so degraded external data flows through
+// with its Defects rather than failing the build.
+type PipelineData struct {
+	SpecBase   map[string]spec.Result
+	SpecTarget map[string]spec.Result
+	IMBBase    map[int]*imb.Table
+	IMBTarget  map[int]*imb.Table
+
+	// Defects carries the loader's findings (see persist's lenient
+	// decoders) into the pipeline's quality ledger.
+	Defects []quality.Defect
 }
 
 // Options tunes pipeline construction. The zero value is the default.
@@ -69,6 +95,9 @@ type Options struct {
 	// Obs, when non-nil, instruments the pipeline (spans + metrics). nil —
 	// the default — is the zero-cost disabled layer.
 	Obs *obs.Scope
+	// Data, when non-nil, supplies pre-measured benchmark data; see
+	// PipelineData.
+	Data *PipelineData
 }
 
 // NewPipeline gathers benchmark data for a machine pair at the given job
@@ -95,6 +124,9 @@ func NewPipelineOpts(base, target *arch.Machine, rankCounts []int, opts Options)
 // is the entry point long-running services use to honour per-request
 // deadlines.
 func NewPipelineCtx(ctx context.Context, base, target *arch.Machine, rankCounts []int, opts Options) (*Pipeline, error) {
+	if err := faultinject.Fire("core.pipeline"); err != nil {
+		return nil, err
+	}
 	p := &Pipeline{
 		Base:      base,
 		Target:    target,
@@ -102,6 +134,18 @@ func NewPipelineCtx(ctx context.Context, base, target *arch.Machine, rankCounts 
 		Obs:       opts.Obs,
 		IMBBase:   map[int]*imb.Table{},
 		IMBTarget: map[int]*imb.Table{},
+	}
+	var dataDefects []quality.Defect
+	if d := opts.Data; d != nil {
+		p.SpecBase = d.SpecBase
+		p.SpecTarget = d.SpecTarget
+		for c, t := range d.IMBBase {
+			p.IMBBase[c] = t
+		}
+		for c, t := range d.IMBTarget {
+			p.IMBTarget[c] = t
+		}
+		dataDefects = d.Defects
 	}
 	counts := uniqueSorted(rankCounts)
 
@@ -112,69 +156,174 @@ func NewPipelineCtx(ctx context.Context, base, target *arch.Machine, rankCounts 
 	g.SetLimit(par.Workers(opts.Workers))
 	// Base-side SPEC runs carry measurement noise (we ran them); the
 	// target numbers are published averages — modelled as noisy too.
-	g.Go(func() error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		c := sp.Child("spec." + base.Name)
-		defer c.End()
-		var err error
-		if p.SpecBase, err = spec.RunSuite(base, true); err != nil {
-			return fmt.Errorf("core: SPEC on base: %w", err)
-		}
-		return nil
-	})
-	g.Go(func() error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		c := sp.Child("spec." + target.Name)
-		defer c.End()
-		var err error
-		if p.SpecTarget, err = spec.RunSuite(target, true); err != nil {
-			return fmt.Errorf("core: SPEC on target: %w", err)
-		}
-		return nil
-	})
+	// Parts already supplied via Options.Data are not re-run.
+	if p.SpecBase == nil {
+		g.Go(func() error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			c := sp.Child("spec." + base.Name)
+			defer c.End()
+			var err error
+			if p.SpecBase, err = spec.RunSuite(base, true); err != nil {
+				return fmt.Errorf("core: SPEC on base: %w", err)
+			}
+			return nil
+		})
+	}
+	if p.SpecTarget == nil {
+		g.Go(func() error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			c := sp.Child("spec." + target.Name)
+			defer c.End()
+			var err error
+			if p.SpecTarget, err = spec.RunSuite(target, true); err != nil {
+				return fmt.Errorf("core: SPEC on target: %w", err)
+			}
+			return nil
+		})
+	}
 	imbBase := make([]*imb.Table, len(counts))
 	imbTarget := make([]*imb.Table, len(counts))
 	for i, c := range counts {
 		i, c := i, c
-		g.Go(func() error {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			s := sp.Child(fmt.Sprintf("imb.%s.%d", base.Name, c))
-			defer s.End()
-			tb, err := imb.Run(base, c, nil)
-			if err != nil {
-				return fmt.Errorf("core: IMB on base at %d ranks: %w", c, err)
-			}
-			imbBase[i] = tb
-			return nil
-		})
-		g.Go(func() error {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			s := sp.Child(fmt.Sprintf("imb.%s.%d", target.Name, c))
-			defer s.End()
-			tt, err := imb.Run(target, c, nil)
-			if err != nil {
-				return fmt.Errorf("core: IMB on target at %d: %w", c, err)
-			}
-			imbTarget[i] = tt
-			return nil
-		})
+		if p.IMBBase[c] == nil {
+			g.Go(func() error {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				s := sp.Child(fmt.Sprintf("imb.%s.%d", base.Name, c))
+				defer s.End()
+				tb, err := imb.Run(base, c, nil)
+				if err != nil {
+					return fmt.Errorf("core: IMB on base at %d ranks: %w", c, err)
+				}
+				imbBase[i] = tb
+				return nil
+			})
+		}
+		if p.IMBTarget[c] == nil {
+			g.Go(func() error {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				s := sp.Child(fmt.Sprintf("imb.%s.%d", target.Name, c))
+				defer s.End()
+				tt, err := imb.Run(target, c, nil)
+				if err != nil {
+					return fmt.Errorf("core: IMB on target at %d: %w", c, err)
+				}
+				imbTarget[i] = tt
+				return nil
+			})
+		}
 	}
 	if err := g.Wait(); err != nil {
 		return nil, err
 	}
 	for i, c := range counts {
-		p.IMBBase[c] = imbBase[i]
-		p.IMBTarget[c] = imbTarget[i]
+		if imbBase[i] != nil {
+			p.IMBBase[c] = imbBase[i]
+		}
+		if imbTarget[i] != nil {
+			p.IMBTarget[c] = imbTarget[i]
+		}
 	}
+	p.applyInjectedDrops()
+	p.Defects = p.analyzeData(dataDefects)
 	return p, nil
+}
+
+// applyInjectedDrops corrupts the gathered target-side data when the
+// corresponding faultinject points are armed: chaos tests use these to
+// prove the degraded-mode fallbacks on real pipelines without hand-built
+// fixtures. Copies are mutated, never the gathered tables.
+func (p *Pipeline) applyInjectedDrops() {
+	if !faultinject.Enabled() {
+		return
+	}
+	if faultinject.ShouldDrop("core.spec.target") && len(p.SpecTarget) > 0 {
+		names := spec.SortedNames(p.SpecTarget)
+		cp := make(map[string]spec.Result, len(p.SpecTarget))
+		for k, v := range p.SpecTarget {
+			cp[k] = v
+		}
+		delete(cp, names[0])
+		p.SpecTarget = cp
+	}
+	if faultinject.ShouldDrop("core.imb.target") && len(p.IMBTarget) > 0 {
+		cp := make(map[int]*imb.Table, len(p.IMBTarget))
+		for c, t := range p.IMBTarget {
+			cp[c] = t.TruncatedAbove(64 * units.KiB)
+		}
+		p.IMBTarget = cp
+	}
+}
+
+// analyzeData inspects the assembled benchmark data for structural
+// problems the projections will have to work around, merging them with the
+// loader-reported defects. On cleanly gathered data it returns exactly
+// dataDefects (nil in-process), keeping the full-fidelity path untouched.
+func (p *Pipeline) analyzeData(dataDefects []quality.Defect) []quality.Defect {
+	ds := append([]quality.Defect(nil), dataDefects...)
+
+	// SPEC pool intersection: the surrogate search can only use benchmarks
+	// measured on both machines.
+	baseNames := spec.SortedNames(p.SpecBase)
+	var missing []string
+	for _, n := range baseNames {
+		if _, ok := p.SpecTarget[n]; !ok {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) > 0 {
+		sev := quality.Minor
+		if remaining := len(baseNames) - len(missing); remaining*4 < len(baseNames)*3 {
+			// More than a quarter of the pool gone: the search space itself
+			// is substantially poorer.
+			sev = quality.Major
+		}
+		shown := missing
+		if len(shown) > 3 {
+			shown = shown[:3]
+		}
+		ds = append(ds, quality.Defect{
+			Code: quality.MissingSpecBench, Component: quality.Data, Severity: sev,
+			Detail: fmt.Sprintf("%d/%d base-pool benchmarks absent on target (%s); surrogate pool shrunk to the intersection",
+				len(missing), len(baseNames), strings.Join(shown, ", ")),
+		})
+	}
+
+	// IMB core counts present on one side only.
+	for _, c := range sortedCounts(p.IMBBase) {
+		if p.IMBTarget[c] == nil {
+			ds = append(ds, quality.Defect{
+				Code: quality.MissingIMBCount, Component: quality.Data, Severity: quality.Minor,
+				Detail: fmt.Sprintf("target has no IMB tables at %d ranks; lookups fall back to the nearest shared count", c),
+			})
+		}
+	}
+	for _, c := range sortedCounts(p.IMBTarget) {
+		if p.IMBBase[c] == nil {
+			ds = append(ds, quality.Defect{
+				Code: quality.MissingIMBCount, Component: quality.Data, Severity: quality.Minor,
+				Detail: fmt.Sprintf("base has no IMB tables at %d ranks; lookups fall back to the nearest shared count", c),
+			})
+		}
+	}
+	return ds
+}
+
+// sortedCounts lists an IMB table map's core counts ascending.
+func sortedCounts(m map[int]*imb.Table) []int {
+	out := make([]int, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // uniqueSorted returns the distinct values of xs in ascending order.
@@ -191,15 +340,37 @@ func uniqueSorted(xs []int) []int {
 	return out
 }
 
-// imbAt fetches a machine-pair's IMB tables for a core count, erroring if
-// the pipeline was not prepared for it.
-func (p *Pipeline) imbAt(c int) (baseT, targetT *imb.Table, err error) {
+// imbAt fetches a machine-pair's IMB tables for a core count. When the
+// pipeline was not prepared for that count it substitutes the nearest
+// count both machines hold — recording an IMBCountFallback defect on rec —
+// and errors only when no shared count exists at all.
+func (p *Pipeline) imbAt(c int, rec *quality.Report) (baseT, targetT *imb.Table, err error) {
 	baseT, ok1 := p.IMBBase[c]
 	targetT, ok2 := p.IMBTarget[c]
-	if !ok1 || !ok2 {
+	if ok1 && ok2 {
+		return baseT, targetT, nil
+	}
+	var shared []int
+	for cc, t := range p.IMBBase {
+		if t != nil && p.IMBTarget[cc] != nil {
+			shared = append(shared, cc)
+		}
+	}
+	if len(shared) == 0 {
 		return nil, nil, fmt.Errorf("core: pipeline has no IMB tables for %d ranks", c)
 	}
-	return baseT, targetT, nil
+	sort.Ints(shared)
+	best := shared[0]
+	for _, cc := range shared {
+		if abs(cc-c) < abs(best-c) {
+			best = cc
+		}
+	}
+	rec.Add(quality.Defect{
+		Code: quality.IMBCountFallback, Component: quality.Comm, Severity: quality.Major,
+		Detail: fmt.Sprintf("no IMB tables at %d ranks; substituted the tables at %d ranks", c, best),
+	})
+	return p.IMBBase[best], p.IMBTarget[best], nil
 }
 
 // CounterPair is one application characterisation observation: ST and SMT
@@ -259,6 +430,9 @@ func (p *Pipeline) CharacterizeAppCtx(ctx context.Context, b nas.Benchmark, c na
 	sort.Ints(app.Counts)
 	sp := p.Obs.Child("core.characterize." + app.Name())
 	defer sp.End()
+	if err := faultinject.Fire("core.characterize"); err != nil {
+		return nil, err
+	}
 	// Each core count's profile + counter runs are independent pure
 	// functions of (machine, workload, ranks) keys; fan them out and
 	// collect by index. The worker slot lands on the span, so a trace

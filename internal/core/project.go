@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/mpi"
 	"repro/internal/nas"
 	"repro/internal/obs"
+	"repro/internal/quality"
 	"repro/internal/stats"
 	"repro/internal/units"
 )
@@ -36,6 +38,11 @@ type Projection struct {
 
 	// Total is the combined projection (§3.3 step 3).
 	Total units.Seconds
+
+	// Quality is the data-fidelity ledger: the defects encountered and the
+	// documented fallbacks substituted while producing this projection.
+	// Always non-nil from Project*; Empty() on the full-fidelity path.
+	Quality *quality.Report
 }
 
 // Project produces the full application projection at core count ck. When
@@ -64,9 +71,17 @@ func (p *Pipeline) project(ctx context.Context, parent *obs.Scope, app *AppModel
 	}
 	sp := parent.Child(fmt.Sprintf("core.project.%s@%d", app.Name(), ck))
 	defer sp.End()
+	if err := faultinject.Fire("core.project"); err != nil {
+		return nil, err
+	}
 	ci := app.nearestCount(ck)
 
-	comp, err := p.projectComputeCtx(ctx, sp, app, ci, ComputeOptions{})
+	// The quality report travels through every stage of this projection;
+	// data defects found at pipeline assembly are inherited first.
+	rec := quality.NewReport()
+	rec.AddAll(p.Defects)
+
+	comp, err := p.projectComputeCtx(ctx, sp, app, ci, ComputeOptions{}, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -86,10 +101,11 @@ func (p *Pipeline) project(ctx context.Context, parent *obs.Scope, app *AppModel
 		ComputeTime: comp.TargetTime * gamma,
 		ACSM:        acsm,
 		HyperScaled: acsm.HyperScalesBetween(ci, ck),
+		Quality:     rec,
 	}
 
 	if _, profiled := app.Profiles[ck]; profiled {
-		comm, err := p.projectComm(sp, app, ck, comp.SpeedupRatio())
+		comm, err := p.projectComm(sp, app, ck, comp.SpeedupRatio(), rec)
 		if err != nil {
 			return nil, err
 		}
@@ -104,7 +120,7 @@ func (p *Pipeline) project(ctx context.Context, parent *obs.Scope, app *AppModel
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			comm, err := p.projectComm(sp, app, c, comp.SpeedupRatio())
+			comm, err := p.projectComm(sp, app, c, comp.SpeedupRatio(), rec)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,219 @@
+// Package faultinject provides named fault-injection points for chaos
+// testing the projection engine and the swappd service. Production code
+// threads Fire/ShouldDrop calls through its interesting seams (persist
+// loading, pipeline stages, GA scoring, server handlers); a test or an
+// operator arms specific points with a spec string and the next passes
+// through those points misbehave on purpose.
+//
+// Disabled cost: a single atomic load per call. The package ships armed
+// in no binaries by default — swappd arms it only from an explicit
+// -faults flag or the SWAPP_FAULTS environment variable.
+//
+// Spec grammar (comma- or semicolon-separated):
+//
+//	point=mode[:arg][#count]
+//
+//	ga.eval=panic#1                    panic on the first pass only
+//	server.eval=error                  fail every pass with an injected error
+//	core.project=delay:150ms           sleep 150ms per pass
+//	core.spec.target=drop#1            caller-interpreted data corruption
+//
+// Modes:
+//
+//	panic       Fire panics with a recognizable "faultinject:" value
+//	error       Fire returns an *InjectedError
+//	delay:DUR   Fire sleeps DUR, then returns nil
+//	drop        Fire returns nil; ShouldDrop reports true (the call site
+//	            degrades its data — drops a row, truncates a grid, …)
+//
+// A trailing #N fires the fault on the first N passes through the point,
+// then the point behaves normally; omitted means every pass. Armed points
+// that production code never visits are harmless.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is one injection behaviour.
+type Mode string
+
+const (
+	ModePanic Mode = "panic"
+	ModeError Mode = "error"
+	ModeDelay Mode = "delay"
+	ModeDrop  Mode = "drop"
+)
+
+// InjectedError marks an error as deliberately injected, so chaos tests
+// can assert it surfaced (and real error handling can ignore that it is
+// synthetic — it travels like any other failure).
+type InjectedError struct {
+	Point string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected error at %s", e.Point)
+}
+
+// plan is one armed point.
+type plan struct {
+	mode  Mode
+	delay time.Duration
+	// remaining is the number of passes left to fire on; negative means
+	// unlimited.
+	remaining atomic.Int64
+}
+
+// take consumes one firing, reporting whether this pass fires.
+func (p *plan) take() bool {
+	for {
+		r := p.remaining.Load()
+		if r < 0 {
+			return true
+		}
+		if r == 0 {
+			return false
+		}
+		if p.remaining.CompareAndSwap(r, r-1) {
+			return true
+		}
+	}
+}
+
+var (
+	enabled atomic.Bool
+	mu      sync.Mutex
+	plans   map[string]*plan
+)
+
+// Arm parses spec and arms its points, replacing any previous arming. An
+// empty spec is a no-op (the package stays disarmed).
+func Arm(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	next := map[string]*plan{}
+	for _, field := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ';' }) {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		point, rhs, ok := strings.Cut(field, "=")
+		if !ok || point == "" || rhs == "" {
+			return fmt.Errorf("faultinject: bad entry %q (want point=mode[:arg][#count])", field)
+		}
+		rhs, countStr, hasCount := cutLast(rhs, '#')
+		p := &plan{}
+		p.remaining.Store(-1)
+		if hasCount {
+			n, err := strconv.Atoi(countStr)
+			if err != nil || n < 1 {
+				return fmt.Errorf("faultinject: bad count in %q", field)
+			}
+			p.remaining.Store(int64(n))
+		}
+		modeStr, arg, _ := strings.Cut(rhs, ":")
+		switch Mode(modeStr) {
+		case ModePanic, ModeError, ModeDrop:
+			if arg != "" {
+				return fmt.Errorf("faultinject: mode %s takes no argument (%q)", modeStr, field)
+			}
+			p.mode = Mode(modeStr)
+		case ModeDelay:
+			d, err := time.ParseDuration(arg)
+			if err != nil || d < 0 {
+				return fmt.Errorf("faultinject: bad delay in %q", field)
+			}
+			p.mode = ModeDelay
+			p.delay = d
+		default:
+			return fmt.Errorf("faultinject: unknown mode %q in %q", modeStr, field)
+		}
+		next[point] = p
+	}
+	mu.Lock()
+	plans = next
+	mu.Unlock()
+	enabled.Store(len(next) > 0)
+	return nil
+}
+
+// cutLast splits s at the last occurrence of sep.
+func cutLast(s string, sep byte) (before, after string, found bool) {
+	if i := strings.LastIndexByte(s, sep); i >= 0 {
+		return s[:i], s[i+1:], true
+	}
+	return s, "", false
+}
+
+// Disarm removes every armed point.
+func Disarm() {
+	mu.Lock()
+	plans = nil
+	mu.Unlock()
+	enabled.Store(false)
+}
+
+// Enabled reports whether any point is armed.
+func Enabled() bool { return enabled.Load() }
+
+// Points lists the armed point names, sorted (for operator logs).
+func Points() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(plans))
+	for p := range plans {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup fetches the armed plan for a point.
+func lookup(point string) *plan {
+	mu.Lock()
+	defer mu.Unlock()
+	return plans[point]
+}
+
+// Fire is the panic/error/delay injection point. With nothing armed it
+// costs one atomic load and returns nil. With point armed it panics,
+// returns an *InjectedError, or sleeps according to the plan; drop mode
+// does nothing here (see ShouldDrop).
+func Fire(point string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	p := lookup(point)
+	if p == nil || p.mode == ModeDrop || !p.take() {
+		return nil
+	}
+	switch p.mode {
+	case ModePanic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s", point))
+	case ModeDelay:
+		time.Sleep(p.delay)
+		return nil
+	default:
+		return &InjectedError{Point: point}
+	}
+}
+
+// ShouldDrop is the data-corruption injection point: it reports whether
+// the call site should degrade its data (drop a row, truncate a grid).
+// Only a plan armed with mode drop triggers it.
+func ShouldDrop(point string) bool {
+	if !enabled.Load() {
+		return false
+	}
+	p := lookup(point)
+	return p != nil && p.mode == ModeDrop && p.take()
+}

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -133,6 +135,11 @@ type Result struct {
 	// fitness call (duplicates within a batch count as hits).
 	// Evaluations + CacheHits is the total number of scores requested.
 	CacheHits int
+	// Quarantined counts fitness evaluations that panicked (or were
+	// fault-injected to fail) and were scored +Inf — the worst possible
+	// fitness under minimisation — instead of killing the run. The
+	// offending genome stays in the population but cannot win selection.
+	Quarantined int
 }
 
 // individual pairs a genome with its cached score.
@@ -145,12 +152,32 @@ type individual struct {
 // used from a single goroutine; only the fitness calls it issues run
 // concurrently.
 type evaluator struct {
-	fn      func([]float64) float64
-	workers int
-	memo    map[string]float64
-	evals   int
-	hits    int
-	obs     *obs.Scope
+	fn          func([]float64) float64
+	workers     int
+	memo        map[string]float64
+	evals       int
+	hits        int
+	quarantined atomic.Int64
+	obs         *obs.Scope
+}
+
+// safeScore scores one genome, quarantining failures: a panicking fitness
+// function (or an armed "ga.eval" fault) yields +Inf — the worst score
+// under minimisation — so one bad chromosome cannot kill the whole search.
+// The quarantine score is memoized like any other, keeping the evolution
+// deterministic at every worker count.
+func (e *evaluator) safeScore(g []float64) (f float64) {
+	defer func() {
+		if v := recover(); v != nil {
+			e.quarantined.Add(1)
+			f = math.Inf(1)
+		}
+	}()
+	if err := faultinject.Fire("ga.eval"); err != nil {
+		e.quarantined.Add(1)
+		return math.Inf(1)
+	}
+	return e.fn(g)
 }
 
 // genomeKey packs a genome's float bits into a string map key.
@@ -191,7 +218,7 @@ func (e *evaluator) scoreAll(genomes [][]float64) []float64 {
 	e.obs.Count("ga.cache_hits", int64(len(genomes)-len(jobs)))
 	// par.ForEach runs inline when workers <= 1 — the legacy serial path.
 	_ = par.ForEach(e.workers, len(jobs), func(i int) error {
-		jobs[i].fitness = e.fn(jobs[i].genome)
+		jobs[i].fitness = e.safeScore(jobs[i].genome)
 		return nil
 	})
 	for _, j := range jobs {
@@ -293,6 +320,10 @@ func Run(cfg Config) (*Result, error) {
 	res.BestFitness = best.fitness
 	res.Evaluations = ev.evals
 	res.CacheHits = ev.hits
+	res.Quarantined = int(ev.quarantined.Load())
+	if res.Quarantined > 0 {
+		sp.Count("ga.quarantined", int64(res.Quarantined))
+	}
 	sp.Observe("ga.best_fitness", res.BestFitness)
 	return res, nil
 }

@@ -129,6 +129,106 @@ func interpSize(grid []units.Bytes, m map[units.Bytes]units.Seconds, size units.
 	return stats.LogLogInterp(xs, ys, float64(size))
 }
 
+// gridGap reports whether a lookup at size in the size-keyed table m had
+// to bridge a hole in the declared grid. With every declared size covered
+// by a positive sample the answer is always false — the clean path —
+// including queries outside the grid range, which clamp to the edge sample
+// by design. With holes, a query is degraded when either declared
+// bracketing neighbour (or the relevant edge) is uncovered, because the
+// interpolation then stretched over missing measurements.
+func gridGap(grid []units.Bytes, m map[units.Bytes]units.Seconds, size units.Bytes) bool {
+	if len(grid) == 0 || len(m) == 0 {
+		return false
+	}
+	covered := make([]bool, len(grid))
+	all := true
+	any := false
+	for i, s := range grid {
+		if v, ok := m[s]; ok && v > 0 {
+			covered[i] = true
+			any = true
+		} else {
+			all = false
+		}
+	}
+	if all {
+		return false
+	}
+	if !any {
+		return true
+	}
+	if size <= grid[0] {
+		return !covered[0]
+	}
+	if size >= grid[len(grid)-1] {
+		return !covered[len(grid)-1]
+	}
+	// sort.Search finds the smallest declared size >= size.
+	hi := sort.Search(len(grid), func(i int) bool { return grid[i] >= size })
+	if grid[hi] == size {
+		return !covered[hi]
+	}
+	return !covered[hi-1] || !covered[hi]
+}
+
+// CoverageGap reports whether a Time lookup for routine at size had to
+// extrapolate across a hole in the declared size grid (a degraded answer
+// worth a quality defect). A routine absent from the table is not a grid
+// gap — that is a missing-routine defect, recorded elsewhere. Routines
+// measured off-grid (Barrier, at size 0) never report gaps.
+func (t *Table) CoverageGap(routine mpi.Routine, size units.Bytes) bool {
+	m, ok := t.PerOp[routine]
+	if !ok {
+		return false
+	}
+	if routine == mpi.RoutineBarrier {
+		return false
+	}
+	return gridGap(t.Sizes, m, size)
+}
+
+// NBGap reports whether the Eq. 1 non-blocking in-flight lookups at size
+// bridge a hole in either the intra- or inter-node fit's size grid.
+func (t *Table) NBGap(size units.Bytes) bool {
+	return gridGap(t.Sizes, t.NBIntra.InFlight, size) || gridGap(t.Sizes, t.NBInter.InFlight, size)
+}
+
+// TruncatedAbove returns a deep copy of the table with every sample at a
+// message size strictly greater than max removed, while keeping the
+// declared Sizes grid intact — the shape of a sweep that was cut short,
+// used by fault injection and partial-data tests. Lookups above max then
+// clamp to the largest surviving sample and CoverageGap reports them.
+func (t *Table) TruncatedAbove(max units.Bytes) *Table {
+	cp := &Table{
+		Machine: t.Machine,
+		Ranks:   t.Ranks,
+		Sizes:   append([]units.Bytes(nil), t.Sizes...),
+		PerOp:   map[mpi.Routine]map[units.Bytes]units.Seconds{},
+		NBIntra: NBFit{Overhead: t.NBIntra.Overhead, InFlight: map[units.Bytes]units.Seconds{}},
+		NBInter: NBFit{Overhead: t.NBInter.Overhead, InFlight: map[units.Bytes]units.Seconds{}},
+	}
+	for rt, m := range t.PerOp {
+		nm := map[units.Bytes]units.Seconds{}
+		for s, v := range m {
+			if s <= max {
+				nm[s] = v
+			}
+		}
+		cp.PerOp[rt] = nm
+	}
+	for s, v := range t.NBIntra.InFlight {
+		if s <= max {
+			cp.NBIntra.InFlight[s] = v
+		}
+	}
+	for s, v := range t.NBInter.InFlight {
+		if s <= max {
+			cp.NBInter.InFlight[s] = v
+		}
+	}
+	return cp
+}
+
 // Routines lists the measured routines in deterministic order.
 func (t *Table) Routines() []mpi.Routine {
 	out := make([]mpi.Routine, 0, len(t.PerOp))

@@ -1,0 +1,83 @@
+package par
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestForEachPanicBecomesError proves panic isolation on both execution
+// paths: a panicking task surfaces as a *PanicError carrying the panic
+// value and a stack trace, instead of crashing the process from a pool
+// goroutine.
+func TestForEachPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 8, func(i int) error {
+			if i == 3 {
+				panic("boom at 3")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "boom at 3" {
+			t.Errorf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: stack not captured", workers)
+		}
+		if !strings.Contains(pe.Error(), "boom at 3") {
+			t.Errorf("workers=%d: Error() = %q", workers, pe.Error())
+		}
+	}
+}
+
+// TestGroupPanicBecomesError covers the Group path used by the pipeline's
+// fan-out: one panicking task yields a *PanicError from Wait while the
+// other tasks complete.
+func TestGroupPanicBecomesError(t *testing.T) {
+	var g Group
+	g.SetLimit(2)
+	done := make([]bool, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		g.Go(func() error {
+			if i == 1 {
+				panic(errors.New("task 1 died"))
+			}
+			done[i] = true
+			return nil
+		})
+	}
+	err := g.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Wait = %v, want *PanicError", err)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if !done[i] {
+			t.Errorf("task %d did not complete after sibling panic", i)
+		}
+	}
+}
+
+// TestPanicErrorKeepsRealErrors pins that ordinary errors still travel
+// unwrapped: panic conversion must not intercept the error path.
+func TestPanicErrorKeepsRealErrors(t *testing.T) {
+	sentinel := errors.New("plain failure")
+	err := ForEach(4, 8, func(i int) error {
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the plain sentinel", err)
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		t.Error("plain error must not be wrapped as PanicError")
+	}
+}

@@ -13,10 +13,35 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a worker panic converted into an error: par never lets a
+// panicking task kill the process from an anonymous goroutine. Value is
+// the recovered panic value and Stack the worker's stack at recovery
+// time, so the crash site survives the trip across the pool boundary.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// protect runs f, converting a panic into a *PanicError.
+func protect(f func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return f()
+}
 
 // Workers resolves a worker-count knob: n when positive, otherwise
 // runtime.GOMAXPROCS(0). By convention across the repository, 1 selects
@@ -51,6 +76,8 @@ func (g *Group) SetLimit(n int) {
 
 // Go schedules f on its own goroutine, blocking first if the concurrency
 // limit is reached. The first non-nil error wins; later errors are dropped.
+// A panicking task is recovered into a *PanicError instead of crashing the
+// process from the pool goroutine.
 func (g *Group) Go(f func() error) {
 	if g.sem != nil {
 		g.sem <- struct{}{}
@@ -63,7 +90,7 @@ func (g *Group) Go(f func() error) {
 			}
 			g.wg.Done()
 		}()
-		if err := f(); err != nil {
+		if err := protect(f); err != nil {
 			g.once.Do(func() { g.err = err })
 		}
 	}()
@@ -80,7 +107,9 @@ func (g *Group) Wait() error {
 // and returns the first error. workers <= 1 (or n == 1) runs inline on the
 // calling goroutine — the legacy serial path, with no goroutine overhead
 // and early exit on error. In the concurrent path an error stops workers
-// from taking new indices, but indices already in flight complete.
+// from taking new indices, but indices already in flight complete. A panic
+// in fn becomes a *PanicError on both paths, so a caller sees the same
+// failure shape at every worker count.
 func ForEach(workers, n int, fn func(i int) error) error {
 	return ForEachW(workers, n, func(_, i int) error { return fn(i) })
 }
@@ -96,7 +125,8 @@ func ForEachW(workers, n int, fn func(worker, i int) error) error {
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(0, i); err != nil {
+			i := i
+			if err := protect(func() error { return fn(0, i) }); err != nil {
 				return err
 			}
 		}
@@ -122,7 +152,7 @@ func ForEachW(workers, n int, fn func(worker, i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(w, i); err != nil {
+				if err := protect(func() error { return fn(w, i) }); err != nil {
 					once.Do(func() { first = err })
 					stop.Store(true)
 					return

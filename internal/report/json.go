@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/quality"
 )
 
 // ProjectionJSON is the machine-readable form of a projection — the
@@ -29,6 +30,21 @@ type ProjectionJSON struct {
 	Compute    *ComputeJSON    `json:"compute,omitempty"`
 	Comm       *CommJSON       `json:"comm,omitempty"`
 	Validation *ValidationJSON `json:"validation,omitempty"`
+
+	// Quality is present only when the projection is degraded: a
+	// full-fidelity run omits the block entirely, keeping its wire bytes
+	// identical to an engine without the quality ledger.
+	Quality *QualityJSON `json:"quality,omitempty"`
+}
+
+// QualityJSON is the wire form of a degraded projection's quality ledger:
+// per-component confidence grades (A = full fidelity, B = minor fallbacks,
+// C = a major fallback) and the defect list, sorted deterministically.
+type QualityJSON struct {
+	Grade        string           `json:"grade"`
+	ComputeGrade string           `json:"compute_grade"`
+	CommGrade    string           `json:"comm_grade"`
+	Defects      []quality.Defect `json:"defects"`
 }
 
 // SurrogateTermJSON is one Eq. 2 surrogate member.
@@ -175,6 +191,14 @@ func NewProjectionJSON(p *core.Projection, v *core.Validation) *ProjectionJSON {
 			}
 		}
 		out.Validation = vj
+	}
+	if q := p.Quality; !q.Empty() {
+		out.Quality = &QualityJSON{
+			Grade:        string(q.Grade()),
+			ComputeGrade: string(q.ComponentGrade(quality.Compute)),
+			CommGrade:    string(q.ComponentGrade(quality.Comm)),
+			Defects:      q.Defects(),
+		}
 	}
 	return out
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/figures"
+	"repro/internal/quality"
 	"repro/internal/units"
 )
 
@@ -198,6 +199,15 @@ func Projection(p *core.Projection, v *core.Validation) string {
 			if e, ok := v.ErrByClass[cls]; ok {
 				fmt.Fprintf(&b, "  %-11s %+7.2f%%\n", cls, e)
 			}
+		}
+	}
+	// The quality section appears only on degraded projections: a
+	// full-fidelity report stays byte-identical to the pre-ledger output.
+	if q := p.Quality; !q.Empty() {
+		fmt.Fprintf(&b, "\nquality: grade %s (compute %s, comm %s) — degraded input data:\n",
+			q.Grade(), q.ComponentGrade(quality.Compute), q.ComponentGrade(quality.Comm))
+		for _, d := range q.Defects() {
+			fmt.Fprintf(&b, "  %s\n", d)
 		}
 	}
 	return b.String()

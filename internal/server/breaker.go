@@ -1,0 +1,124 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// breakerOpenError rejects a request while the circuit breaker is open:
+// the pipeline has failed repeatedly and hammering it helps nobody.
+// RetryAfter is the suggested client backoff, surfaced as a Retry-After
+// header on the 503.
+type breakerOpenError struct {
+	retryAfter time.Duration
+}
+
+func (e *breakerOpenError) Error() string {
+	return fmt.Sprintf("server: circuit breaker open, retry in %v", e.retryAfter.Round(time.Second))
+}
+
+// breaker is a consecutive-failure circuit breaker around the evaluation
+// pipeline. Closed, it passes everything and counts consecutive failures;
+// at threshold it opens and rejects for cooldown; after cooldown it
+// half-opens and lets exactly one probe through — the probe's outcome
+// re-closes or re-opens the circuit. Context cancellations, client
+// deadlines, and admission-queue rejections are breaker-neutral: they say
+// nothing about the pipeline's health.
+//
+// A nil *breaker is a disabled breaker: allow always passes, record is a
+// no-op.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive, while closed
+	openedAt time.Time // while open
+	probing  bool      // while half-open: a probe is in flight
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// newBreaker builds a breaker tripping after threshold consecutive
+// failures, rejecting for cooldown before each probe. now is injectable
+// for tests.
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request may proceed. When it may not, retryAfter
+// suggests how long the client should wait. The transition open→half-open
+// happens here: the first allow after the cooldown becomes the probe.
+func (b *breaker) allow() (retryAfter time.Duration, ok bool) {
+	if b == nil {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return 0, true
+	case breakerOpen:
+		if remaining := b.openedAt.Add(b.cooldown).Sub(b.now()); remaining > 0 {
+			return remaining, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return 0, true
+	default: // half-open
+		if b.probing {
+			return b.cooldown, false
+		}
+		b.probing = true
+		return 0, true
+	}
+}
+
+// record reports one evaluation outcome. Neutral errors (cancellation,
+// deadline, queue-full) release a probe without a verdict; success closes
+// the circuit; a real failure counts toward the threshold and re-opens a
+// half-open circuit immediately.
+func (b *breaker) record(err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case err == nil:
+		b.state = breakerClosed
+		b.failures = 0
+		b.probing = false
+	case neutralErr(err):
+		b.probing = false
+	default:
+		b.probing = false
+		b.failures++
+		if b.state == breakerHalfOpen || b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.failures = 0
+		}
+	}
+}
+
+// neutralErr reports whether an evaluation error says nothing about the
+// pipeline's health and must not move the breaker.
+func neutralErr(err error) bool {
+	var boe *breakerOpenError
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, errQueueFull) ||
+		errors.As(err, &boe)
+}

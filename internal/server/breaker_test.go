@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced time source for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time            { return c.t }
+func (c *fakeClock) advance(d time.Duration)   { c.t = c.t.Add(d) }
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(3, 10*time.Second, clk.now)
+	boom := errors.New("pipeline broken")
+
+	for i := 0; i < 2; i++ {
+		if _, ok := b.allow(); !ok {
+			t.Fatalf("breaker open after %d failures, threshold 3", i)
+		}
+		b.record(boom)
+	}
+	// A success resets the consecutive count.
+	b.record(nil)
+	for i := 0; i < 3; i++ {
+		if _, ok := b.allow(); !ok {
+			t.Fatalf("breaker open after reset + %d failures", i)
+		}
+		b.record(boom)
+	}
+	ra, ok := b.allow()
+	if ok {
+		t.Fatal("breaker still closed after 3 consecutive failures")
+	}
+	if ra <= 0 || ra > 10*time.Second {
+		t.Errorf("retryAfter = %v, want within the 10s cooldown", ra)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(1, 10*time.Second, clk.now)
+	b.record(errors.New("boom"))
+	if _, ok := b.allow(); ok {
+		t.Fatal("threshold-1 breaker did not open on first failure")
+	}
+
+	clk.advance(11 * time.Second)
+	if _, ok := b.allow(); !ok {
+		t.Fatal("cooldown passed: first allow must become the probe")
+	}
+	// While the probe is in flight everyone else is rejected.
+	if _, ok := b.allow(); ok {
+		t.Fatal("second caller admitted during the probe")
+	}
+	// A failed probe re-opens immediately for a full cooldown.
+	b.record(errors.New("still broken"))
+	if _, ok := b.allow(); ok {
+		t.Fatal("breaker closed after failed probe")
+	}
+
+	clk.advance(11 * time.Second)
+	if _, ok := b.allow(); !ok {
+		t.Fatal("second probe not admitted")
+	}
+	b.record(nil)
+	// Healthy again: everyone passes.
+	for i := 0; i < 5; i++ {
+		if _, ok := b.allow(); !ok {
+			t.Fatal("breaker not closed after successful probe")
+		}
+	}
+}
+
+func TestBreakerNeutralErrors(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(1, 10*time.Second, clk.now)
+	// Cancellations, deadlines, and queue rejections never trip.
+	for _, err := range []error{context.Canceled, context.DeadlineExceeded, errQueueFull} {
+		b.record(err)
+		if _, ok := b.allow(); !ok {
+			t.Fatalf("neutral error %v tripped the breaker", err)
+		}
+	}
+	// A neutral probe outcome releases the probe slot without a verdict.
+	b.record(errors.New("boom"))
+	clk.advance(11 * time.Second)
+	if _, ok := b.allow(); !ok {
+		t.Fatal("probe not admitted")
+	}
+	b.record(context.Canceled)
+	if _, ok := b.allow(); !ok {
+		t.Fatal("cancelled probe must free the probe slot for the next caller")
+	}
+}
+
+func TestNilBreakerIsDisabled(t *testing.T) {
+	var b *breaker
+	for i := 0; i < 10; i++ {
+		b.record(errors.New("boom"))
+		if _, ok := b.allow(); !ok {
+			t.Fatal("nil breaker rejected a request")
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	swapp "repro"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// postEval sends one /v1/project request and returns the response.
+func postEval(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/project", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+const chaosBody = `{"target":"power6-575","bench":"LU-MZ","class":"C","ranks":16}`
+
+// TestInjectedEvalPanicBecomes500 is the serving half of the acceptance
+// scenario: a panic inside one evaluation becomes a clean 500, the panic
+// is counted, the error is not cached, and the identical follow-up
+// request succeeds — the daemon survives its pipeline blowing up.
+func TestInjectedEvalPanicBecomes500(t *testing.T) {
+	defer faultinject.Disarm()
+	if err := faultinject.Arm("server.eval=panic#1"); err != nil {
+		t.Fatal(err)
+	}
+	eval := &stubEval{}
+	scope := obs.New("test")
+	_, ts := newTestServer(t, Config{Workers: 2, Obs: scope}, eval)
+
+	resp := postEval(t, ts.URL, chaosBody)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("injected panic: status %d, want 500", resp.StatusCode)
+	}
+	var apiErr apiError
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatalf("500 body not JSON: %v", err)
+	}
+	if apiErr.Error == "" {
+		t.Error("500 body carries no error message")
+	}
+	if got := metricValue(t, scope, "server.panics"); got != 1 {
+		t.Errorf("server.panics = %v, want 1", got)
+	}
+
+	// The fault is exhausted (#1) and the error was not cached: the same
+	// request now evaluates cleanly.
+	resp2 := postEval(t, ts.URL, chaosBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up after panic: status %d, want 200", resp2.StatusCode)
+	}
+	if eval.calls.Load() != 1 {
+		t.Errorf("eval ran %d times, want 1 (panic fired before the stub)", eval.calls.Load())
+	}
+}
+
+// TestHandlerPanicRecovered proves the recovery middleware catches panics
+// raised outside the evaluation path too.
+func TestHandlerPanicRecovered(t *testing.T) {
+	defer faultinject.Disarm()
+	if err := faultinject.Arm("server.handler=panic#1"); err != nil {
+		t.Fatal(err)
+	}
+	eval := &stubEval{}
+	scope := obs.New("test")
+	_, ts := newTestServer(t, Config{Workers: 1, Obs: scope}, eval)
+
+	resp := postEval(t, ts.URL, chaosBody)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("handler panic: status %d, want 500", resp.StatusCode)
+	}
+	if got := metricValue(t, scope, "server.panics"); got != 1 {
+		t.Errorf("server.panics = %v, want 1", got)
+	}
+	if resp2 := postEval(t, ts.URL, chaosBody); resp2.StatusCode != http.StatusOK {
+		t.Fatalf("server did not survive the handler panic: %d", resp2.StatusCode)
+	}
+}
+
+// TestPanickingLeaderReleasesFollowers pins the nastiest interaction:
+// a singleflight leader whose evaluation panics must still release its
+// worker slot and fail its joined followers — not strand them on a done
+// channel that never closes.
+func TestPanickingLeaderReleasesFollowers(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var first sync.Once
+	evalFn := func(ctx context.Context, op string, req swapp.Request) (*swapp.Result, error) {
+		leader := false
+		first.Do(func() { leader = true })
+		if leader {
+			close(started)
+			<-release // hold the singleflight slot while followers join
+			panic("leader evaluation dies")
+		}
+		return stubResult(req), nil
+	}
+	s := New(Config{Workers: 1, Eval: evalFn})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	post := func() int {
+		resp, err := http.Post(ts.URL+"/v1/project", "application/json", bytes.NewBufferString(chaosBody))
+		if err != nil {
+			return 0
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	leaderCode := make(chan int, 1)
+	go func() { leaderCode <- post() }()
+	<-started
+	const followers = 3
+	var wg sync.WaitGroup
+	codes := make([]int, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = post()
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let followers join the in-flight call
+	close(release)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("followers stranded after leader panic")
+	}
+	if c := <-leaderCode; c != http.StatusInternalServerError {
+		t.Errorf("leader: status %d, want 500", c)
+	}
+	for i, c := range codes {
+		if c != http.StatusInternalServerError {
+			t.Errorf("follower %d: status %d, want 500", i, c)
+		}
+	}
+	// The worker slot was released: a fresh request evaluates fine.
+	if c := post(); c != http.StatusOK {
+		t.Errorf("post-panic request: status %d, want 200 (slot leaked?)", c)
+	}
+}
+
+// TestBreakerOpensAfterRepeatedFailures drives the breaker through a
+// full trip/probe/recover cycle over HTTP with an injected error fault
+// and a fake clock.
+func TestBreakerOpensAfterRepeatedFailures(t *testing.T) {
+	defer faultinject.Disarm()
+	if err := faultinject.Arm("server.eval=error#3"); err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	eval := &stubEval{}
+	scope := obs.New("test")
+	cfg := Config{
+		Workers: 1, Obs: scope,
+		BreakerThreshold: 3, BreakerCooldown: 10 * time.Second,
+		nowFn: clk.now,
+	}
+	_, ts := newTestServer(t, cfg, eval)
+
+	// Three injected failures trip the breaker. Distinct ranks dodge the
+	// cache and singleflight.
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{"target":"power6-575","bench":"LU-MZ","class":"C","ranks":%d}`, 16>>i)
+		if resp := postEval(t, ts.URL, body); resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("failure %d: status %d, want 500", i, resp.StatusCode)
+		}
+	}
+	// Tripped: next request is rejected without evaluating.
+	resp := postEval(t, ts.URL, chaosBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: status %d, want 503", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Errorf("open breaker Retry-After = %q, want >= 1s", resp.Header.Get("Retry-After"))
+	}
+	if eval.calls.Load() != 0 {
+		t.Errorf("breaker-rejected request reached the evaluator")
+	}
+
+	// After the cooldown the probe passes; the fault is exhausted so it
+	// succeeds and the circuit closes for everyone.
+	clk.advance(11 * time.Second)
+	if resp := postEval(t, ts.URL, chaosBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe after cooldown: status %d, want 200", resp.StatusCode)
+	}
+	body := fmt.Sprintf(`{"target":"power6-575","bench":"LU-MZ","class":"C","ranks":%d}`, 2)
+	if resp := postEval(t, ts.URL, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery request: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestStageTimeoutMapsTo504 proves a stage-budget overrun surfaces as a
+// gateway timeout, distinct from a plain 500.
+func TestStageTimeoutMapsTo504(t *testing.T) {
+	slow := func(ctx context.Context, op string, req swapp.Request) (*swapp.Result, error) {
+		if req.StageTimeout != 20*time.Millisecond {
+			return nil, fmt.Errorf("StageTimeout not forwarded: %v", req.StageTimeout)
+		}
+		// Emulate what swapp.Request.stage returns when a stage blows its
+		// budget while the request deadline is still healthy.
+		return nil, fmt.Errorf("swapp: stage %q exceeded its %v budget: %w", "project", req.StageTimeout, swapp.ErrStageTimeout)
+	}
+	s := New(Config{Workers: 1, StageTimeout: 20 * time.Millisecond, Eval: slow})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp := postEval(t, ts.URL, chaosBody)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("stage timeout: status %d, want 504", resp.StatusCode)
+	}
+}
+
+// metricValue reads one counter out of the scope's metrics snapshot.
+func metricValue(t *testing.T, scope *obs.Scope, name string) int64 {
+	t.Helper()
+	v, _ := scope.Metrics().Counter(name)
+	return v
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/report"
+)
+
+// Client is a resilient caller of the swappd API: it retries transient
+// failures (network errors and 429/502/503/504 responses) with capped
+// exponential backoff plus jitter, honouring the server's Retry-After
+// hint when one is sent — the hint is exactly what the overload and
+// circuit-breaker paths use to pace clients. The zero value plus a
+// BaseURL is usable.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying client (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxRetries bounds the retries after the first attempt (default 3,
+	// so up to 4 attempts; negative disables retrying).
+	MaxRetries int
+	// BaseBackoff seeds the exponential backoff (default 100ms) and
+	// MaxBackoff caps it (default 5s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter perturbs a computed backoff (default equal jitter:
+	// half deterministic, half uniform). Injectable for tests.
+	Jitter func(d time.Duration) time.Duration
+	// Sleep waits between attempts (default a context-aware sleep).
+	// Injectable for tests.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// APIError is a non-retryable (or retries-exhausted) HTTP error response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Project calls /v1/project and decodes the projection.
+func (c *Client) Project(ctx context.Context, req APIRequest) (*report.ProjectionJSON, error) {
+	return c.eval(ctx, "/v1/project", req)
+}
+
+// Validate calls /v1/validate and decodes the projection with its
+// validation section.
+func (c *Client) Validate(ctx context.Context, req APIRequest) (*report.ProjectionJSON, error) {
+	return c.eval(ctx, "/v1/validate", req)
+}
+
+func (c *Client) eval(ctx context.Context, path string, req APIRequest) (*report.ProjectionJSON, error) {
+	body, err := c.do(ctx, path, req)
+	if err != nil {
+		return nil, err
+	}
+	var out report.ProjectionJSON
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("server: decoding %s response: %w", path, err)
+	}
+	return &out, nil
+}
+
+// do runs the retry loop for one POST.
+func (c *Client) do(ctx context.Context, path string, req APIRequest) ([]byte, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 3
+	} else if retries < 0 {
+		retries = 0
+	}
+	sleep := c.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+
+		resp, err := httpc.Do(hreq)
+		var retryAfter time.Duration
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+		default:
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				lastErr = rerr
+				break
+			}
+			if resp.StatusCode == http.StatusOK {
+				return body, nil
+			}
+			apiErr := &APIError{Status: resp.StatusCode, Message: errorMessage(body)}
+			if !retryableStatus(resp.StatusCode) {
+				return nil, apiErr
+			}
+			lastErr = apiErr
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		if attempt >= retries {
+			return nil, lastErr
+		}
+		wait := c.backoff(attempt)
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		if err := sleep(ctx, wait); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// backoff computes the jittered exponential delay before retry attempt+1.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	if c.Jitter != nil {
+		return c.Jitter(d)
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// retryableStatus reports whether a response status is transient: the
+// server's own overload (503), breaker (503), and stage-timeout (504)
+// answers, plus the conventional upstream flavours of the same.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// errorMessage extracts the JSON error body, falling back to the raw text.
+func errorMessage(body []byte) string {
+	var ae apiError
+	if err := json.Unmarshal(body, &ae); err == nil && ae.Error != "" {
+		return ae.Error
+	}
+	return string(bytes.TrimSpace(body))
+}
+
+// sleepCtx waits for d or the context, whichever ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

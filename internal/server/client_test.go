@@ -1,0 +1,157 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newFlakyServer answers each request via script[i] (an HTTP status, 0 =
+// drop the connection) until the script runs out, then serves the real
+// stub result.
+func newFlakyServer(t *testing.T, script []int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	eval := &stubEval{}
+	s := New(Config{Workers: 2, Eval: eval.fn})
+	inner := s.Handler()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(calls.Add(1)) - 1
+		if n < len(script) {
+			switch code := script[n]; code {
+			case 0:
+				hj, ok := w.(http.Hijacker)
+				if !ok {
+					t.Fatal("recorder not hijackable")
+				}
+				conn, _, err := hj.Hijack()
+				if err != nil {
+					t.Fatal(err)
+				}
+				conn.Close()
+			default:
+				if code == http.StatusServiceUnavailable {
+					w.Header().Set("Retry-After", "1")
+				}
+				w.WriteHeader(code)
+			}
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// testClient builds a Client with instant, recorded sleeps.
+func testClient(url string, slept *[]time.Duration) *Client {
+	return &Client{
+		BaseURL: url,
+		Jitter:  func(d time.Duration) time.Duration { return d },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			*slept = append(*slept, d)
+			return ctx.Err()
+		},
+	}
+}
+
+var clientReq = APIRequest{Target: "power6-575", Bench: "LU-MZ", Class: "C", Ranks: 16}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	// Dropped connection, then 503, then 504, then success: all within
+	// the default 3 retries.
+	ts, calls := newFlakyServer(t, []int{0, http.StatusServiceUnavailable, http.StatusGatewayTimeout})
+	var slept []time.Duration
+	c := testClient(ts.URL, &slept)
+
+	res, err := c.Project(context.Background(), clientReq)
+	if err != nil {
+		t.Fatalf("retryable failures not retried: %v", err)
+	}
+	if res.App != "LU-MZ.C" || res.TotalSeconds <= 0 {
+		t.Errorf("bad decoded projection: %+v", res)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Errorf("server saw %d attempts, want 4", got)
+	}
+	if len(slept) != 3 {
+		t.Fatalf("slept %d times, want 3", len(slept))
+	}
+	// Second wait honours the 503's Retry-After: 1s despite a 200ms
+	// exponential schedule.
+	if slept[1] < time.Second {
+		t.Errorf("Retry-After ignored: waited %v, want >= 1s", slept[1])
+	}
+	// Backoff grows between non-hinted attempts.
+	if slept[0] >= slept[2] {
+		t.Errorf("backoff not growing: %v", slept)
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	ts, calls := newFlakyServer(t, []int{http.StatusBadRequest})
+	var slept []time.Duration
+	c := testClient(ts.URL, &slept)
+
+	_, err := c.Project(context.Background(), clientReq)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("400 retried: %d attempts", got)
+	}
+}
+
+func TestClientExhaustsRetries(t *testing.T) {
+	ts, calls := newFlakyServer(t, []int{
+		http.StatusServiceUnavailable, http.StatusServiceUnavailable,
+		http.StatusServiceUnavailable, http.StatusServiceUnavailable,
+		http.StatusServiceUnavailable,
+	})
+	var slept []time.Duration
+	c := testClient(ts.URL, &slept)
+	c.MaxRetries = 2
+
+	_, err := c.Project(context.Background(), clientReq)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want the last APIError 503", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestClientStopsOnContextCancel(t *testing.T) {
+	ts, _ := newFlakyServer(t, []int{http.StatusServiceUnavailable, http.StatusServiceUnavailable})
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{
+		BaseURL: ts.URL,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel()
+			return ctx.Err()
+		},
+	}
+	_, err := c.Project(ctx, clientReq)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestClientValidateEndpoint(t *testing.T) {
+	ts, _ := newFlakyServer(t, nil)
+	var slept []time.Duration
+	c := testClient(ts.URL, &slept)
+	res, err := c.Validate(context.Background(), clientReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "LU-MZ.C" {
+		t.Errorf("bad decoded projection: %+v", res)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	swapp "repro"
+	"repro/internal/faultinject"
 	"repro/internal/nas"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -84,16 +85,31 @@ type Config struct {
 	// default: a long-running server would grow the span tree without
 	// bound.
 	TraceRequests bool
+	// StageTimeout bounds each pipeline stage of an evaluation
+	// separately from the request deadline, so one wedged stage cannot
+	// consume a whole generous request budget (0 disables; surfaces as
+	// 504 with swapp.ErrStageTimeout in the body).
+	StageTimeout time.Duration
+	// BreakerThreshold is the consecutive evaluation failures that trip
+	// the circuit breaker (default 5; negative disables the breaker).
+	// Cancellations, client deadlines, and queue rejections never count.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker rejects with 503
+	// before letting a single probe through (default 10s).
+	BreakerCooldown time.Duration
 	// Eval overrides the evaluation function (tests).
 	Eval EvalFunc
+	// nowFn overrides the breaker's clock (tests).
+	nowFn func() time.Time
 }
 
 // Server is the projection service. Create with New, expose via Handler.
 type Server struct {
-	cfg   Config
-	obs   *obs.Scope
-	eval  EvalFunc
-	cache *cache
+	cfg     Config
+	obs     *obs.Scope
+	eval    EvalFunc
+	cache   *cache
+	breaker *breaker // nil when disabled
 
 	sem      chan struct{} // worker slots
 	queued   atomic.Int64  // arrivals between admission and a slot
@@ -121,13 +137,26 @@ func New(cfg Config) *Server {
 	if cfg.Eval == nil {
 		cfg.Eval = defaultEval
 	}
-	return &Server{
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 10 * time.Second
+	}
+	if cfg.nowFn == nil {
+		cfg.nowFn = time.Now
+	}
+	s := &Server{
 		cfg:   cfg,
 		obs:   cfg.Obs,
 		eval:  cfg.Eval,
 		cache: newCache(cfg.CacheSize),
 		sem:   make(chan struct{}, cfg.Workers),
 	}
+	if cfg.BreakerThreshold > 0 {
+		s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.nowFn)
+	}
+	return s
 }
 
 // SetDraining flips the readiness state: once draining, /readyz answers
@@ -161,11 +190,27 @@ func (s *Server) Handler() http.Handler {
 			mux.Handle(p, debug)
 		}
 	}
-	return mux
+	return s.recovered(mux)
 }
 
-// apiRequest is the JSON body of the /v1 endpoints.
-type apiRequest struct {
+// recovered converts a panic escaping any handler into a 500 with a JSON
+// body and a server.panics count, instead of net/http's default of killing
+// the connection with an empty reply. If the handler already wrote its
+// status line the 500 cannot be sent; the count still registers.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.obs.Count("server.panics", 1)
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("server: internal panic: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// APIRequest is the JSON body of the /v1 endpoints, shared with Client.
+type APIRequest struct {
 	Base   string `json:"base,omitempty"`
 	Target string `json:"target"`
 	Bench  string `json:"bench"`
@@ -191,12 +236,17 @@ func (s *Server) handleEval(op string, render func(*swapp.Result) ([]byte, error
 		endpoint := r.URL.Path
 		s.obs.Count("server.requests", 1)
 		s.obs.Count("server.requests."+endpoint, 1)
+		if err := faultinject.Fire("server.handler"); err != nil {
+			s.obs.Count("server.errors", 1)
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s requires POST", endpoint))
 			return
 		}
-		var body apiRequest
+		var body APIRequest
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&body); err != nil {
@@ -233,11 +283,18 @@ func (s *Server) handleEval(op string, render func(*swapp.Result) ([]byte, error
 		res, hit, err := s.evaluate(ctx, op, req)
 		s.obs.Observe("server.request_seconds", time.Since(start).Seconds())
 		if err != nil {
+			var boe *breakerOpenError
 			switch {
 			case errors.Is(err, errQueueFull):
 				s.obs.Count("server.rejected", 1)
 				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusServiceUnavailable, err)
+			case errors.As(err, &boe):
+				s.obs.Count("server.breaker_rejected", 1)
+				w.Header().Set("Retry-After", retryAfterSeconds(boe.retryAfter))
+				writeError(w, http.StatusServiceUnavailable, err)
+			case errors.Is(err, swapp.ErrStageTimeout):
+				writeError(w, http.StatusGatewayTimeout, err)
 			case errors.Is(err, context.DeadlineExceeded):
 				writeError(w, http.StatusGatewayTimeout, err)
 			case errors.Is(err, context.Canceled):
@@ -270,6 +327,16 @@ func (s *Server) handleEval(op string, render func(*swapp.Result) ([]byte, error
 // cancelled by its client; net/http has no named constant for it.
 const statusClientClosedRequest = 499
 
+// retryAfterSeconds renders a backoff hint as a Retry-After header value:
+// whole seconds, rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
 // evaluate resolves one (op, request) through the cache: serve a finished
 // result, join an in-flight evaluation, or become the leader — pass
 // admission control and run the evaluation. hit reports a cache hit.
@@ -289,23 +356,48 @@ func (s *Server) evaluate(ctx context.Context, op string, req swapp.Request) (re
 			return nil, false, ctx.Err()
 		}
 	}
+	if ra, ok := s.breaker.allow(); !ok {
+		err := &breakerOpenError{retryAfter: ra}
+		s.cache.finish(key, cl, nil, err)
+		return nil, false, err
+	}
 	if err := s.admit(ctx); err != nil {
+		s.breaker.record(err) // queue-full and ctx errors are neutral
 		s.cache.finish(key, cl, nil, err)
 		return nil, false, err
 	}
 	s.obs.Gauge("server.inflight", float64(s.inflight.Add(1)))
 	evalReq := req
 	evalReq.Workers = s.cfg.EvalWorkers
+	evalReq.StageTimeout = s.cfg.StageTimeout
 	if s.cfg.TraceRequests {
 		sp := s.obs.Child(fmt.Sprintf("server.%s.%s.%c@%d:%s", op, evalReq.Bench, evalReq.Class, evalReq.Ranks, evalReq.Target))
 		evalReq.Obs = sp
 		defer sp.End()
 	}
-	res, err = s.eval(ctx, op, evalReq)
+	res, err = s.runEval(ctx, op, evalReq)
 	s.obs.Gauge("server.inflight", float64(s.inflight.Add(-1)))
 	<-s.sem
+	s.breaker.record(err)
 	s.cache.finish(key, cl, res, err)
 	return res, false, err
+}
+
+// runEval runs one evaluation with panic isolation: a panic anywhere in
+// the pipeline becomes an error here, before the worker slot is released
+// and the singleflight call is finished — a panicking leader must not
+// leak its slot or leave joined waiters blocked forever.
+func (s *Server) runEval(ctx context.Context, op string, req swapp.Request) (res *swapp.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.obs.Count("server.panics", 1)
+			res, err = nil, fmt.Errorf("server: evaluation panicked: %v", v)
+		}
+	}()
+	if err := faultinject.Fire("server.eval"); err != nil {
+		return nil, err
+	}
+	return s.eval(ctx, op, req)
 }
 
 // admit takes a worker slot, waiting in the bounded admission queue. The

@@ -56,3 +56,43 @@ pid=""
 grep -q drained "$tmp/err.log" || {
     echo "serve-smoke: missing drain log" >&2; exit 1; }
 echo "serve-smoke: ok (cached round-trip + clean drain)"
+
+# Second act: fault injection. Restart with one armed evaluation panic;
+# the first request must 500 without killing the daemon, health must stay
+# green, and the identical retry must evaluate normally.
+"$tmp/swappd" -addr 127.0.0.1:0 -faults 'server.eval=panic#1' \
+    >"$tmp/out2.log" 2>"$tmp/err2.log" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^swappd listening on //p' "$tmp/out2.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve-smoke: faulted swappd never reported its address" >&2
+    cat "$tmp/err2.log" >&2
+    exit 1
+fi
+echo "serve-smoke: faulted swappd on $addr"
+grep -q 'FAULT INJECTION ARMED' "$tmp/err2.log" || {
+    echo "serve-smoke: missing armed warning on stderr" >&2; exit 1; }
+
+status=$(curl -sS -o "$tmp/fault.json" -w '%{http_code}' \
+    -X POST "http://$addr/v1/project" -d "$req")
+[ "$status" = 500 ] || {
+    echo "serve-smoke: injected panic returned $status, want 500" >&2; exit 1; }
+grep -qi panic "$tmp/fault.json" || {
+    echo "serve-smoke: 500 body does not mention the panic" >&2; exit 1; }
+
+curl -fsS "http://$addr/healthz" >/dev/null || {
+    echo "serve-smoke: daemon unhealthy after injected panic" >&2; exit 1; }
+curl -fsS -X POST "http://$addr/v1/project" -d "$req" -o "$tmp/retry.json"
+grep -q '"total_seconds"' "$tmp/retry.json" || {
+    echo "serve-smoke: retry after exhausted fault is not a projection" >&2; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid" || { echo "serve-smoke: faulted drain exited non-zero" >&2; exit 1; }
+pid=""
+echo "serve-smoke: ok (injected panic contained, retry served, clean drain)"
