@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz cover serve-smoke chaos
+.PHONY: check build vet test race bench bench-serve fuzz cover serve-smoke chaos
 
 ## check: everything CI runs — vet, build, full tests, race tests.
 check: vet build test race
@@ -25,6 +25,13 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench 'Speedup|EnforceSparsity|TopK' -benchtime 1x ./...
+
+# Serving-layer regression gate: rerun the cheap swappbench scenarios
+# (cache-hot, shared-base-warm) and fail on >20% p95 latency or allocs/op
+# regressions vs the committed BENCH_swappd.json. Regenerate the baseline
+# itself with: go run ./cmd/swappbench -out BENCH_swappd.json
+bench-serve:
+	./scripts/bench_gate.sh
 
 # Short mutation pass over the persistence decoders (CI runs the same).
 fuzz:

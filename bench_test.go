@@ -11,6 +11,7 @@ package swapp
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -374,7 +375,19 @@ func benchNewPipeline(b *testing.B, workers int) {
 func BenchmarkNewPipelineSerial(b *testing.B)   { benchNewPipeline(b, 1) }
 func BenchmarkNewPipelineParallel(b *testing.B) { benchNewPipeline(b, 0) }
 
+// skipSpeedupOnOneProc guards the serial-vs-pooled speedup benchmarks:
+// at GOMAXPROCS=1 the pooled path has no second scheduler thread to run
+// on, so the ratio measures goroutine overhead (~1x of pure noise), not
+// speedup, and recording it would pollute committed baselines.
+func skipSpeedupOnOneProc(b *testing.B) {
+	b.Helper()
+	if runtime.GOMAXPROCS(0) == 1 {
+		b.Skip("speedup ratio is meaningless at GOMAXPROCS=1 (the pooled path cannot parallelise); rerun with GOMAXPROCS>=2")
+	}
+}
+
 func BenchmarkNewPipelineSpeedup(b *testing.B) {
+	skipSpeedupOnOneProc(b)
 	base := arch.MustGet(arch.Hydra)
 	tgt := arch.MustGet(arch.Power6)
 	counts := []int{4, 8, 16}
@@ -408,6 +421,7 @@ func benchFigureEngine(b *testing.B, workers int, gen func(*figures.Runner) erro
 }
 
 func BenchmarkLUFigureSpeedup(b *testing.B) {
+	skipSpeedupOnOneProc(b)
 	// Figure 6 end to end — three machine-pair pipelines, three app
 	// characterisations, six validation cells — serial vs pooled.
 	lu := func(r *figures.Runner) error { _, err := r.LUFigure(); return err }
@@ -420,6 +434,7 @@ func BenchmarkLUFigureSpeedup(b *testing.B) {
 }
 
 func BenchmarkAllFiguresSpeedup(b *testing.B) {
+	skipSpeedupOnOneProc(b)
 	// The paper's entire evaluation grid (Figures 3-9, 54 cells) on a
 	// fresh runner, serial vs pooled. Expensive: minutes per iteration.
 	all := func(r *figures.Runner) error { _, err := r.AllFigures(); return err }

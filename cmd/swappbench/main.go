@@ -1,0 +1,657 @@
+// Command swappbench is the serving-layer load generator and benchmark
+// harness for swappd: it drives the projection service with configurable
+// concurrency and a mix of request distributions — cache-cold, shared-base
+// warm, cache-hot, degraded-input — and reports per-scenario latency
+// percentiles (p50/p95/p99), saturation throughput, allocations per
+// request, and resident set size into a versioned BENCH_swappd.json.
+//
+// Modelled on golang/benchmarks' driver/http harness: the default mode
+// hosts the server in-process on a loopback listener (so allocation and
+// RSS deltas come straight from runtime.MemStats), while -addr points the
+// generator at an externally running swappd, in which case server-side
+// memory statistics are scraped from its /debug/vars endpoint.
+//
+// Usage:
+//
+//	swappbench                        # full run, JSON to stdout
+//	swappbench -out BENCH_swappd.json # write the versioned baseline
+//	swappbench -gate BENCH_swappd.json -max-regress 20
+//	                                  # regression gate against a committed baseline
+//
+// Scenarios (fresh server per scenario in in-process mode):
+//
+//	cache-cold        distinct (bench, target) requests, no artifact reuse —
+//	                  every request pays the full pipeline
+//	shared-base-warm  requests sharing (app, base, target) but differing in
+//	                  ranks — the layered-cache sweet spot
+//	cache-hot         one request repeated — the result-cache hit path
+//	degraded-input    requests against fault-injected benchmark data —
+//	                  the lenient/quality path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// apiReq is one request in a scenario's distribution.
+type apiReq struct {
+	Target string `json:"target"`
+	Bench  string `json:"bench"`
+	Class  string `json:"class"`
+	Ranks  int    `json:"ranks"`
+}
+
+func (r apiReq) body() string {
+	return fmt.Sprintf(`{"target":%q,"bench":%q,"class":%q,"ranks":%d}`,
+		r.Target, r.Bench, r.Class, r.Ranks)
+}
+
+// scenario is one request distribution plus the server mode it needs.
+type scenario struct {
+	name    string
+	note    string
+	prime   []apiReq // served before measurement starts (not timed)
+	reqs    []apiReq // measured, in order (never cycled: repeats would hit the result cache)
+	repeat  apiReq   // when set, measured -n repetitions of one request
+	n       int      // measured request count for repeat-mode scenarios
+	faults  string   // faultinject spec armed for the scenario (in-process only)
+	noStore bool     // disable the layered artifact store (cache-cold baseline)
+}
+
+// scenarioResult is the measured outcome, serialised into BENCH_swappd.json.
+type scenarioResult struct {
+	Name          string  `json:"name"`
+	Note          string  `json:"note,omitempty"`
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	Concurrency   int     `json:"concurrency"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	RSSMB         float64 `json:"rss_mb,omitempty"`
+	MemSysMB      float64 `json:"mem_sys_mb"`
+}
+
+type environment struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Go         string `json:"go"`
+}
+
+type runConfig struct {
+	Concurrency int    `json:"concurrency"`
+	Cold        int    `json:"cold"`
+	Warm        int    `json:"warm"`
+	Hot         int    `json:"hot"`
+	Degraded    int    `json:"degraded"`
+	Mode        string `json:"mode"` // "in-process" or the external address
+}
+
+// comparison derives the headline claims from one run (and optionally a
+// baseline): the shared-base-warm speedup over cache-cold, and the
+// serving-path allocation change against the pre-layered-cache harness run.
+type comparison struct {
+	ColdP50OverWarmP50 float64            `json:"cold_p50_over_warm_p50,omitempty"`
+	AllocsChangePct    map[string]float64 `json:"allocs_per_op_change_pct_vs_baseline,omitempty"`
+	P50ChangePct       map[string]float64 `json:"p50_change_pct_vs_baseline,omitempty"`
+}
+
+type baselineBlock struct {
+	Note        string           `json:"note"`
+	Environment environment      `json:"environment"`
+	Scenarios   []scenarioResult `json:"scenarios"`
+}
+
+// benchFile is the versioned BENCH_swappd.json document.
+type benchFile struct {
+	Version     int              `json:"version"`
+	Description string           `json:"description"`
+	Environment environment      `json:"environment"`
+	Config      runConfig        `json:"config"`
+	Scenarios   []scenarioResult `json:"scenarios"`
+	Comparison  *comparison      `json:"comparison,omitempty"`
+	Baseline    *baselineBlock   `json:"baseline,omitempty"`
+	// Notes carries free-form context attached at run time (-note), e.g.
+	// companion external-mode measurements that don't fit the scenario
+	// schema.
+	Notes []string `json:"notes,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("swappbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "", "drive an external swappd at this address instead of hosting in-process")
+		conc      = fs.Int("c", 4, "client concurrency")
+		cold      = fs.Int("cold", 5, "cache-cold requests (0 disables the scenario, max 9 distinct)")
+		warm      = fs.Int("warm", 10, "shared-base-warm requests (0 disables, max 10 distinct)")
+		hot       = fs.Int("hot", 200, "cache-hot requests (0 disables)")
+		degraded  = fs.Int("degraded", 3, "degraded-input requests (0 disables, max 3 distinct; in-process only)")
+		cacheSize = fs.Int("cache", 128, "server result-cache capacity (in-process mode)")
+		evalW     = fs.Int("eval-workers", 0, "engine pool per evaluation (in-process mode)")
+		timeout   = fs.Duration("timeout", 5*time.Minute, "per-request client timeout")
+		out       = fs.String("out", "-", "write the JSON report here (- = stdout)")
+		mergeBase = fs.String("merge-baseline", "", "embed this prior run's scenarios as the baseline block and compute deltas")
+		gate      = fs.String("gate", "", "compare this run against a committed BENCH_swappd.json and fail on regression")
+		maxRegr   = fs.Float64("max-regress", 20, "max tolerated p95 latency / allocs-per-op regression, percent (-gate)")
+	)
+	var notes []string
+	fs.Func("note", "attach a free-form note to the report (repeatable)", func(v string) error {
+		notes = append(notes, v)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	scenarios := buildScenarios(*cold, *warm, *hot, *degraded, *addr != "")
+	if len(scenarios) == 0 {
+		fmt.Fprintln(stderr, "swappbench: all scenarios disabled")
+		return 2
+	}
+
+	doc := &benchFile{
+		Version: 1,
+		Description: "swappd serving-layer baseline: per-scenario latency percentiles, " +
+			"saturation throughput, allocations per request and memory, measured by cmd/swappbench " +
+			"(in-process loopback server unless config.mode names an external address). " +
+			"allocs_per_op counts process-wide Mallocs per measured request and, in in-process mode, " +
+			"includes the load generator's own client-side allocations — comparable across runs of the " +
+			"same harness, not against external-mode runs.",
+		Environment: environment{
+			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Go: runtime.Version(),
+		},
+		Config: runConfig{
+			Concurrency: *conc, Cold: *cold, Warm: *warm, Hot: *hot, Degraded: *degraded,
+			Mode: modeName(*addr),
+		},
+		Notes: notes,
+	}
+
+	for _, sc := range scenarios {
+		fmt.Fprintf(stderr, "swappbench: scenario %s (%d requests, c=%d)\n", sc.name, measuredCount(sc), *conc)
+		res, err := runScenario(sc, *addr, *conc, *cacheSize, *evalW, *timeout)
+		if err != nil {
+			fmt.Fprintf(stderr, "swappbench: scenario %s: %v\n", sc.name, err)
+			return 1
+		}
+		doc.Scenarios = append(doc.Scenarios, *res)
+	}
+	doc.Comparison = compare(doc.Scenarios, nil)
+
+	if *mergeBase != "" {
+		prior, err := loadBench(*mergeBase)
+		if err != nil {
+			fmt.Fprintf(stderr, "swappbench: -merge-baseline: %v\n", err)
+			return 1
+		}
+		doc.Baseline = &baselineBlock{
+			Note: "pre-layered-cache run of the same harness (monolithic result cache only), " +
+				"kept as the comparison point for the allocs/op and latency deltas below",
+			Environment: prior.Environment,
+			Scenarios:   prior.Scenarios,
+		}
+		doc.Comparison = compare(doc.Scenarios, prior.Scenarios)
+	}
+
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "swappbench: %v\n", err)
+		return 1
+	}
+	b = append(b, '\n')
+	if *out == "-" {
+		_, _ = stdout.Write(b)
+	} else if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintf(stderr, "swappbench: %v\n", err)
+		return 1
+	}
+
+	if *gate != "" {
+		committed, err := loadBench(*gate)
+		if err != nil {
+			fmt.Fprintf(stderr, "swappbench: -gate: %v\n", err)
+			return 1
+		}
+		if !gateCheck(stderr, doc, committed, *maxRegr) {
+			return 1
+		}
+		fmt.Fprintln(stderr, "swappbench: gate passed")
+	}
+	return 0
+}
+
+func modeName(addr string) string {
+	if addr == "" {
+		return "in-process"
+	}
+	return addr
+}
+
+func measuredCount(sc scenario) int {
+	if sc.n > 0 {
+		return sc.n
+	}
+	return len(sc.reqs)
+}
+
+// buildScenarios assembles the four distributions, truncated to the
+// requested sizes. Unique-request scenarios are never cycled: a repeated
+// request would hit the result cache and stop measuring what the scenario
+// claims to.
+func buildScenarios(cold, warm, hot, degraded int, external bool) []scenario {
+	var out []scenario
+	if cold > 0 {
+		reqs := []apiReq{
+			{Target: "bgp", Bench: "BT-MZ", Class: "C", Ranks: 16},
+			{Target: "power6-575", Bench: "SP-MZ", Class: "C", Ranks: 16},
+			{Target: "westmere-x5670", Bench: "LU-MZ", Class: "C", Ranks: 16},
+			{Target: "westmere-x5670", Bench: "BT-MZ", Class: "C", Ranks: 16},
+			{Target: "bgp", Bench: "SP-MZ", Class: "C", Ranks: 16},
+			{Target: "power6-575", Bench: "LU-MZ", Class: "C", Ranks: 16},
+			{Target: "power6-575", Bench: "BT-MZ", Class: "C", Ranks: 32},
+			{Target: "bgp", Bench: "LU-MZ", Class: "C", Ranks: 16},
+			{Target: "westmere-x5670", Bench: "SP-MZ", Class: "C", Ranks: 32},
+		}
+		out = append(out, scenario{
+			name:    "cache-cold",
+			note:    "distinct requests, layered store disabled: every request pays the full pipeline",
+			reqs:    reqs[:min(cold, len(reqs))],
+			noStore: true,
+		})
+	}
+	if warm > 0 {
+		var reqs []apiReq
+		for _, r := range []int{32, 64, 128, 4, 8, 12, 20, 24, 40, 48} {
+			reqs = append(reqs, apiReq{Target: "power6-575", Bench: "BT-MZ", Class: "C", Ranks: r})
+		}
+		out = append(out, scenario{
+			name:  "shared-base-warm",
+			note:  "requests sharing (app, base, target) with the primed one, differing only in ranks",
+			prime: []apiReq{{Target: "power6-575", Bench: "BT-MZ", Class: "C", Ranks: 16}},
+			reqs:  reqs[:min(warm, len(reqs))],
+		})
+	}
+	if hot > 0 {
+		out = append(out, scenario{
+			name:   "cache-hot",
+			note:   "one request repeated: the result-cache hit path",
+			prime:  []apiReq{{Target: "power6-575", Bench: "BT-MZ", Class: "C", Ranks: 16}},
+			repeat: apiReq{Target: "power6-575", Bench: "BT-MZ", Class: "C", Ranks: 16},
+			n:      hot,
+		})
+	}
+	if degraded > 0 && !external {
+		reqs := []apiReq{
+			{Target: "bgp", Bench: "SP-MZ", Class: "C", Ranks: 16},
+			{Target: "power6-575", Bench: "LU-MZ", Class: "C", Ranks: 16},
+			{Target: "power6-575", Bench: "BT-MZ", Class: "C", Ranks: 24},
+		}
+		out = append(out, scenario{
+			name:   "degraded-input",
+			note:   "benchmark data fault-injected (core.spec.target=drop): the lenient/quality path",
+			reqs:   reqs[:min(degraded, len(reqs))],
+			faults: "core.spec.target=drop",
+		})
+	}
+	return out
+}
+
+// runScenario measures one scenario: fresh in-process server (or the
+// external address), prime requests untimed, then the measured set on a
+// bounded worker pool.
+func runScenario(sc scenario, addr string, conc, cacheSize, evalWorkers int, timeout time.Duration) (*scenarioResult, error) {
+	base := addr
+	var shutdown func()
+	if base == "" {
+		var err error
+		base, shutdown, err = startServer(sc, cacheSize, evalWorkers)
+		if err != nil {
+			return nil, err
+		}
+		defer shutdown()
+	}
+	if sc.faults != "" && addr == "" {
+		if err := faultinject.Arm(sc.faults); err != nil {
+			return nil, err
+		}
+		defer faultinject.Disarm()
+	}
+	client := &http.Client{Timeout: timeout}
+	url := "http://" + strings.TrimPrefix(base, "http://") + "/v1/project"
+
+	do := func(r apiReq) (time.Duration, error) {
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/json", strings.NewReader(r.body()))
+		if err != nil {
+			return 0, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("%s: status %d: %s", r.body(), resp.StatusCode, firstLine(body))
+		}
+		return time.Since(t0), nil
+	}
+
+	for _, r := range sc.prime {
+		if _, err := do(r); err != nil {
+			return nil, fmt.Errorf("prime: %w", err)
+		}
+	}
+
+	reqs := sc.reqs
+	if sc.n > 0 {
+		reqs = make([]apiReq, sc.n)
+		for i := range reqs {
+			reqs[i] = sc.repeat
+		}
+	}
+
+	pre, err := memSnapshot(addr, base)
+	if err != nil {
+		return nil, err
+	}
+	lat := make([]time.Duration, len(reqs))
+	errs := make([]error, len(reqs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	if conc < 1 {
+		conc = 1
+	}
+	t0 := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				lat[i], errs[i] = do(reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(t0)
+	post, err := memSnapshot(addr, base)
+	if err != nil {
+		return nil, err
+	}
+
+	var ok []time.Duration
+	nerr := 0
+	for i, e := range errs {
+		if e != nil {
+			nerr++
+			continue
+		}
+		ok = append(ok, lat[i])
+	}
+	if len(ok) == 0 {
+		return nil, fmt.Errorf("all %d requests failed; first: %v", len(errs), firstErr(errs))
+	}
+	sort.Slice(ok, func(a, b int) bool { return ok[a] < ok[b] })
+
+	res := &scenarioResult{
+		Name:          sc.name,
+		Note:          sc.note,
+		Requests:      len(reqs),
+		Errors:        nerr,
+		Concurrency:   conc,
+		P50Ms:         ms(percentile(ok, 0.50)),
+		P95Ms:         ms(percentile(ok, 0.95)),
+		P99Ms:         ms(percentile(ok, 0.99)),
+		ThroughputRPS: round3(float64(len(ok)) / wall.Seconds()),
+		AllocsPerOp:   round1(float64(post.mallocs-pre.mallocs) / float64(len(reqs))),
+		BytesPerOp:    round1(float64(post.totalAlloc-pre.totalAlloc) / float64(len(reqs))),
+		MemSysMB:      round1(float64(post.sys) / (1 << 20)),
+	}
+	if rss := procRSS(); rss > 0 && addr == "" {
+		res.RSSMB = round1(float64(rss) / (1 << 20))
+	}
+	return res, nil
+}
+
+// startServer hosts a fresh projection server on a loopback listener for
+// one scenario, returning its address and a shutdown function.
+func startServer(sc scenario, cacheSize, evalWorkers int) (string, func(), error) {
+	scope := obs.New("swappbench")
+	srv := server.New(server.Config{
+		CacheSize:   cacheSize,
+		EvalWorkers: evalWorkers,
+		Obs:         scope,
+
+		DisableLayeredCache: sc.noStore,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	stop := func() {
+		_ = hs.Close()
+		scope.End()
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+// memSnapshot captures the server process's allocation counters: straight
+// from runtime in in-process mode, scraped from /debug/vars externally.
+type memCounters struct {
+	mallocs, totalAlloc, sys uint64
+}
+
+func memSnapshot(addr, base string) (memCounters, error) {
+	if addr == "" {
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return memCounters{mallocs: m.Mallocs, totalAlloc: m.TotalAlloc, sys: m.Sys}, nil
+	}
+	resp, err := http.Get("http://" + strings.TrimPrefix(base, "http://") + "/debug/vars")
+	if err != nil {
+		return memCounters{}, fmt.Errorf("scraping /debug/vars: %w", err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		MemStats struct {
+			Mallocs    uint64 `json:"Mallocs"`
+			TotalAlloc uint64 `json:"TotalAlloc"`
+			Sys        uint64 `json:"Sys"`
+		} `json:"memstats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return memCounters{}, fmt.Errorf("parsing /debug/vars: %w", err)
+	}
+	return memCounters{doc.MemStats.Mallocs, doc.MemStats.TotalAlloc, doc.MemStats.Sys}, nil
+}
+
+// procRSS reads the process's resident set from /proc (linux), in bytes.
+func procRSS() int64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// compare derives the headline ratios, optionally against a baseline run.
+func compare(cur, base []scenarioResult) *comparison {
+	c := &comparison{}
+	find := func(rs []scenarioResult, name string) *scenarioResult {
+		for i := range rs {
+			if rs[i].Name == name {
+				return &rs[i]
+			}
+		}
+		return nil
+	}
+	if cold, warm := find(cur, "cache-cold"), find(cur, "shared-base-warm"); cold != nil && warm != nil && warm.P50Ms > 0 {
+		c.ColdP50OverWarmP50 = round2(cold.P50Ms / warm.P50Ms)
+	}
+	if base != nil {
+		c.AllocsChangePct = map[string]float64{}
+		c.P50ChangePct = map[string]float64{}
+		for i := range cur {
+			b := find(base, cur[i].Name)
+			if b == nil {
+				continue
+			}
+			if b.AllocsPerOp > 0 {
+				c.AllocsChangePct[cur[i].Name] = round1(100 * (cur[i].AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp)
+			}
+			if b.P50Ms > 0 {
+				c.P50ChangePct[cur[i].Name] = round1(100 * (cur[i].P50Ms - b.P50Ms) / b.P50Ms)
+			}
+		}
+	}
+	return c
+}
+
+// gateCheck compares a fresh run against the committed baseline file and
+// reports pass/fail. Latency comparisons only hold on comparable hardware:
+// when the committed environment differs in CPU count, they are skipped
+// (with a note) and only the host-independent allocs/op gate applies.
+func gateCheck(w io.Writer, cur, committed *benchFile, maxRegressPct float64) bool {
+	comparableHost := committed.Environment.CPUs == cur.Environment.CPUs &&
+		committed.Environment.GOMAXPROCS == cur.Environment.GOMAXPROCS
+	if !comparableHost {
+		fmt.Fprintf(w, "swappbench: gate: committed baseline ran on %d CPUs (here %d); "+
+			"latency gates skipped, comparing allocs/op only\n",
+			committed.Environment.CPUs, cur.Environment.CPUs)
+	}
+	pass := true
+	for _, c := range cur.Scenarios {
+		var base *scenarioResult
+		for i := range committed.Scenarios {
+			if committed.Scenarios[i].Name == c.Name {
+				base = &committed.Scenarios[i]
+				break
+			}
+		}
+		if base == nil {
+			fmt.Fprintf(w, "swappbench: gate: scenario %s not in baseline, skipped\n", c.Name)
+			continue
+		}
+		check := func(metric string, got, want float64, enabled bool) {
+			if !enabled || want <= 0 {
+				return
+			}
+			regr := 100 * (got - want) / want
+			status := "ok"
+			if regr > maxRegressPct {
+				status = "FAIL"
+				pass = false
+			}
+			fmt.Fprintf(w, "swappbench: gate: %-18s %-14s %12.1f vs %12.1f (%+6.1f%%) %s\n",
+				c.Name, metric, got, want, regr, status)
+		}
+		check("p95_ms", c.P95Ms, base.P95Ms, comparableHost)
+		check("allocs_per_op", c.AllocsPerOp, base.AllocsPerOp, true)
+	}
+	return pass
+}
+
+func loadBench(path string) (*benchFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchFile
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// percentile returns the q-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64      { return round3(float64(d) / float64(time.Millisecond)) }
+func round1(v float64) float64        { return roundTo(v, 10) }
+func round2(v float64) float64        { return roundTo(v, 100) }
+func round3(v float64) float64        { return roundTo(v, 1000) }
+func roundTo(v float64, s float64) float64 {
+	if v < 0 {
+		return -roundTo(-v, s)
+	}
+	return float64(int64(v*s+0.5)) / s
+}
+
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+func firstErr(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -61,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		stageTO     = fs.Duration("stage-timeout", 0, "per-stage evaluation budget, distinct from the request deadline (0 = off)")
 		brkThresh   = fs.Int("breaker-threshold", 0, "consecutive failures tripping the circuit breaker (0 = default 5, negative = off)")
 		brkCooldown = fs.Duration("breaker-cooldown", 0, "open-circuit rejection window before a probe (0 = default 10s)")
+		layered     = fs.Bool("layered-cache", true, "share characterisations, profiles and surrogates across requests (does not affect the numbers)")
+		warmStart   = fs.Bool("warm-start", false, "seed GA surrogate searches from the nearest cached surrogate (CAN change the numbers; recorded in the quality block)")
 		faults      = fs.String("faults", os.Getenv("SWAPP_FAULTS"),
 			"fault-injection spec, e.g. 'server.eval=panic#1' (default $SWAPP_FAULTS; testing only)")
 	)
@@ -90,6 +92,9 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		BreakerThreshold: *brkThresh,
 		BreakerCooldown:  *brkCooldown,
 		Eval:             evalOverride,
+
+		DisableLayeredCache: !*layered,
+		WarmStart:           *warmStart,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -250,15 +250,62 @@ func (p *Pipeline) ProjectComputeOpts(app *AppModel, ci int, opts ComputeOptions
 	return p.projectComputeCtx(context.Background(), p.Obs, app, ci, opts, nil)
 }
 
-// projectComputeCtx is the implementation, with its span attached under
-// parent (p.Obs for direct calls, the enclosing projection's span when
-// called from project). ctx is checked before each GA ensemble member, the
-// expensive stage of the compute projection. Degraded-mode fallbacks (pool
-// intersection, GA quarantine) are recorded on rec (nil-safe).
+// projectComputeCtx is the store-aware entry to the §2.3 compute
+// projection: with a layer store and the default options it resolves the
+// whole finished projection through the surrogate layer — one entry per
+// (base, app, target, characterisation count, warm flag), shared by every
+// request that differs only in the projected core count — and otherwise
+// computes fresh. Degraded-mode fallbacks (pool intersection, GA
+// quarantine, warm start) are recorded on rec (nil-safe); entries replay
+// the defects recorded when they were filled, so a served projection is
+// indistinguishable from a computed one.
 func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app *AppModel, ci int, opts ComputeOptions, rec *quality.Report) (*ComputeProjection, error) {
+	st := p.storeFor()
+	if st == nil || opts != (ComputeOptions{}) {
+		proj, _, err := p.computeSurrogate(ctx, parent, app, ci, opts, rec, nil)
+		return proj, err
+	}
+	var seeds [][]float64
+	var seedCi int
+	if p.warmStart {
+		seeds, seedCi, _ = st.NearestSurrogateSeeds(p.Base.Name, app.Name(), p.Target.Name, ci)
+	}
+	e, err := st.surrogateAt(ctx, p.Base.Name, app.Name(), p.Target.Name, ci, p.warmStart, func() (*surrogateEntry, error) {
+		// The fill is shared and detached: it runs under the pipeline's
+		// own scope and an unbounded context, so the filling request's
+		// deadline or span lifetime cannot truncate an artifact other
+		// requests will reuse.
+		sub := quality.NewReport()
+		if len(seeds) > 0 {
+			sub.Add(quality.Defect{
+				Code: quality.GAWarmStart, Component: quality.Compute, Severity: quality.Minor,
+				Detail: fmt.Sprintf("surrogate search warm-started from the cached surrogate at %d ranks", seedCi),
+			})
+		}
+		proj, genomes, err := p.computeSurrogate(context.Background(), p.Obs, app, ci, opts, sub, seeds)
+		if err != nil {
+			return nil, err
+		}
+		return &surrogateEntry{cp: proj, defects: sub.Defects(), genomes: genomes}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.AddAll(e.defects)
+	return e.cp, nil
+}
+
+// computeSurrogate is the §2.3 implementation, with its span attached
+// under parent (p.Obs for direct calls, the enclosing projection's span
+// when called from project). ctx is checked before each GA ensemble
+// member, the expensive stage of the compute projection. seeds, when
+// non-empty, warm-start each ensemble member's initial population. The
+// second return value is the ensemble's usable best genomes, in member
+// order — the warm-start seed material for neighbouring searches.
+func (p *Pipeline) computeSurrogate(ctx context.Context, parent *obs.Scope, app *AppModel, ci int, opts ComputeOptions, rec *quality.Report, seeds [][]float64) (*ComputeProjection, [][]float64, error) {
 	cp, ok := app.Counters[ci]
 	if !ok {
-		return nil, fmt.Errorf("core: no counters at %d ranks for %s", ci, app.Name())
+		return nil, nil, fmt.Errorf("core: no counters at %d ranks for %s", ci, app.Name())
 	}
 	scales := metricScales(p.SpecBase)
 
@@ -285,7 +332,7 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 		}
 	}
 	if len(names) < 2 {
-		return nil, fmt.Errorf("core: surrogate pool too small: base and target share %d benchmarks", len(names))
+		return nil, nil, fmt.Errorf("core: surrogate pool too small: base and target share %d benchmarks", len(names))
 	}
 	pool := make([][]float64, len(names))
 	for i, name := range names {
@@ -297,31 +344,40 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 	// each member must itself behave like the app (the paper's surrogate
 	// is "benchmarks that have similar behavior as the HPC application",
 	// not an arbitrary combination that cancels to the right average).
+	// Each ensemble member gets its own closure so the combo scratch is
+	// reused across that member's ~10⁴ serial evaluations without being
+	// shared between concurrently-running members.
 	const memberPenalty = 1.0
-	fitness := func(genome []float64) float64 {
-		var wsum float64
-		for _, w := range genome {
-			wsum += w
-		}
-		if wsum <= 0 {
-			return math.Inf(1)
-		}
+	newFitness := func() func(genome []float64) float64 {
 		combo := make([]float64, len(appVec))
-		var member float64
-		for k, w := range genome {
-			if w == 0 {
-				continue
+		return func(genome []float64) float64 {
+			var wsum float64
+			for _, w := range genome {
+				wsum += w
 			}
-			f := w / wsum
+			if wsum <= 0 {
+				return math.Inf(1)
+			}
 			for j := range combo {
-				combo[j] += f * pool[k][j]
+				combo[j] = 0
 			}
-			member += f * stats.WeightedDistance(pool[k], appVec, weights)
+			var member float64
+			for k, w := range genome {
+				if w == 0 {
+					continue
+				}
+				f := w / wsum
+				for j := range combo {
+					combo[j] += f * pool[k][j]
+				}
+				member += f * stats.WeightedDistance(pool[k], appVec, weights)
+			}
+			return stats.WeightedDistance(combo, appVec, weights) + memberPenalty*member
 		}
-		return stats.WeightedDistance(combo, appVec, weights) + memberPenalty*member
 	}
 	if opts.UseNNLS {
-		return p.nnlsProjection(app, ci, pool, appVec, weights, groupW, names)
+		proj, err := p.nnlsProjection(app, ci, pool, appVec, weights, groupW, names)
+		return proj, nil, err
 	}
 
 	// The GA is stochastic; an ensemble of independent runs stabilises
@@ -334,6 +390,12 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 	sp := parent.Child(fmt.Sprintf("core.compute.%s@%d", app.Name(), ci))
 	defer sp.End()
 	const ensemble = 3
+	// A warm-started member may stop once its best has stalled this many
+	// generations: the seeded population starts near a converged optimum,
+	// so the full generation budget is mostly dead work. Cold runs always
+	// use the full budget — early stopping there would change the bytes
+	// of every existing projection.
+	const warmStallGenerations = 25
 	members := make([]*ga.Result, ensemble)
 	err := par.ForEachW(par.Workers(p.Workers), ensemble, func(w, e int) error {
 		if err := ctx.Err(); err != nil {
@@ -341,16 +403,21 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 		}
 		ms := sp.ChildW(fmt.Sprintf("ga.member.%d", e), w)
 		defer ms.End()
-		res, err := ga.Run(ga.Config{
+		cfg := ga.Config{
 			GenomeLen: len(names),
 			MaxActive: surrogateMaxSize,
 			Seed:      fmt.Sprintf("surrogate|%s|%s|%d|%d", app.Name(), p.Target.Name, ci, e),
-			Fitness:   fitness,
+			Fitness:   newFitness(),
 			// The ensemble is already fanned out; keep each member's
 			// own evaluation serial to avoid oversubscription.
 			Workers: 1,
 			Obs:     ms,
-		})
+		}
+		if len(seeds) > 0 {
+			cfg.Seeds = seeds
+			cfg.StallGenerations = warmStallGenerations
+		}
+		res, err := ga.Run(cfg)
 		if err != nil {
 			return err
 		}
@@ -358,12 +425,13 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var bestGenome []float64
 	bestFitness := math.Inf(1)
 	var ratioSum, ratioWeight float64
 	var quarantined, unusable int
+	var bestGenomes [][]float64
 	for _, res := range members {
 		quarantined += res.Quarantined
 		// A member whose whole population was quarantined (every fitness
@@ -390,6 +458,7 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 			unusable++
 			continue
 		}
+		bestGenomes = append(bestGenomes, res.Best)
 		rw := 1 / (res.BestFitness + 1e-6)
 		ratioSum += rw * targetMix / baseMix
 		ratioWeight += rw
@@ -399,7 +468,7 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 		}
 	}
 	if ratioWeight <= 0 {
-		return nil, fmt.Errorf("core: surrogate search failed: all %d GA ensemble members quarantined", ensemble)
+		return nil, nil, fmt.Errorf("core: surrogate search failed: all %d GA ensemble members quarantined", ensemble)
 	}
 	if quarantined > 0 {
 		sev := quality.Minor
@@ -444,7 +513,7 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 	}
 	sp.Count("core.compute_projections", 1)
 	sp.Observe("core.compute_ratio", proj.SpeedupRatio())
-	return proj, nil
+	return proj, bestGenomes, nil
 }
 
 // CCSM — Compute Component Strong Scaling Model (§3.2): a power-law fit of

@@ -67,6 +67,25 @@ type Pipeline struct {
 	// projection through this pipeline inherits them into its Quality
 	// report; empty for data gathered by running the benchmarks in-process.
 	Defects []quality.Defect
+
+	// store, when non-nil, is the layered artifact cache characterisation,
+	// profiling, and the surrogate search resolve through (see Store). nil
+	// when the request disabled it, supplied external Data, or — checked
+	// again at each use — while fault injection is armed.
+	store *Store
+	// warmStart opts the surrogate search into seeding from the store's
+	// nearest cached surrogate (see Options.WarmStart).
+	warmStart bool
+}
+
+// storeFor returns the layer store to use right now: nil while fault
+// injection is armed, so chaos runs can neither read clean artifacts into
+// a corrupted evaluation nor publish corrupted artifacts under clean keys.
+func (p *Pipeline) storeFor() *Store {
+	if p.store == nil || faultinject.Enabled() {
+		return nil
+	}
+	return p.store
 }
 
 // PipelineData supplies pre-measured benchmark data to NewPipeline instead
@@ -98,6 +117,22 @@ type Options struct {
 	// Data, when non-nil, supplies pre-measured benchmark data; see
 	// PipelineData.
 	Data *PipelineData
+	// Store, when non-nil, is a layered artifact cache shared across
+	// pipelines (and therefore requests): machine characterisations,
+	// application profiles, and finished compute surrogates are resolved
+	// through it instead of recomputed. Every stored artifact is a pure
+	// function of its key, so projections are byte-identical with or
+	// without a store. Ignored when Data supplies external benchmark data
+	// or while fault injection is armed — degraded inputs must never
+	// populate the clean content-addressed keys.
+	Store *Store
+	// WarmStart opts the GA surrogate search into seeding its initial
+	// population from the Store's nearest cached surrogate for the same
+	// (base, app, target). Unlike the store itself this CAN change the
+	// projected numbers (the search explores from a different generation
+	// 0), so it is off by default and recorded in the projection's
+	// Quality report when it fires. Requires Store.
+	WarmStart bool
 }
 
 // NewPipeline gathers benchmark data for a machine pair at the given job
@@ -134,7 +169,16 @@ func NewPipelineCtx(ctx context.Context, base, target *arch.Machine, rankCounts 
 		Obs:       opts.Obs,
 		IMBBase:   map[int]*imb.Table{},
 		IMBTarget: map[int]*imb.Table{},
+		store:     opts.Store,
+		warmStart: opts.WarmStart,
 	}
+	if opts.Data != nil {
+		// External data bypasses the store for this pipeline's whole
+		// lifetime: partially-supplied or degraded inputs must neither
+		// poison the shared layers nor be silently completed from them.
+		p.store = nil
+	}
+	st := p.storeFor()
 	var dataDefects []quality.Defect
 	if d := opts.Data; d != nil {
 		p.SpecBase = d.SpecBase
@@ -165,7 +209,7 @@ func NewPipelineCtx(ctx context.Context, base, target *arch.Machine, rankCounts 
 			c := sp.Child("spec." + base.Name)
 			defer c.End()
 			var err error
-			if p.SpecBase, err = spec.RunSuite(base, true); err != nil {
+			if p.SpecBase, err = gatherSpec(ctx, st, base); err != nil {
 				return fmt.Errorf("core: SPEC on base: %w", err)
 			}
 			return nil
@@ -179,7 +223,7 @@ func NewPipelineCtx(ctx context.Context, base, target *arch.Machine, rankCounts 
 			c := sp.Child("spec." + target.Name)
 			defer c.End()
 			var err error
-			if p.SpecTarget, err = spec.RunSuite(target, true); err != nil {
+			if p.SpecTarget, err = gatherSpec(ctx, st, target); err != nil {
 				return fmt.Errorf("core: SPEC on target: %w", err)
 			}
 			return nil
@@ -196,7 +240,7 @@ func NewPipelineCtx(ctx context.Context, base, target *arch.Machine, rankCounts 
 				}
 				s := sp.Child(fmt.Sprintf("imb.%s.%d", base.Name, c))
 				defer s.End()
-				tb, err := imb.Run(base, c, nil)
+				tb, err := gatherIMB(ctx, st, base, c)
 				if err != nil {
 					return fmt.Errorf("core: IMB on base at %d ranks: %w", c, err)
 				}
@@ -211,7 +255,7 @@ func NewPipelineCtx(ctx context.Context, base, target *arch.Machine, rankCounts 
 				}
 				s := sp.Child(fmt.Sprintf("imb.%s.%d", target.Name, c))
 				defer s.End()
-				tt, err := imb.Run(target, c, nil)
+				tt, err := gatherIMB(ctx, st, target, c)
 				if err != nil {
 					return fmt.Errorf("core: IMB on target at %d: %w", c, err)
 				}
@@ -234,6 +278,30 @@ func NewPipelineCtx(ctx context.Context, base, target *arch.Machine, rankCounts 
 	p.applyInjectedDrops()
 	p.Defects = p.analyzeData(dataDefects)
 	return p, nil
+}
+
+// gatherSpec runs (or resolves through the characterisation layer) one
+// machine's SPEC CPU2006 suite. The suite is a pure function of the
+// machine (measurement noise is key-seeded), so a stored result set is
+// bit-identical to a fresh run's.
+func gatherSpec(ctx context.Context, st *Store, m *arch.Machine) (map[string]spec.Result, error) {
+	if st == nil {
+		return spec.RunSuite(m, true)
+	}
+	return st.specSuite(ctx, m, func() (map[string]spec.Result, error) {
+		return spec.RunSuite(m, true)
+	})
+}
+
+// gatherIMB runs (or resolves through the characterisation layer) one
+// machine's IMB sweep at a core count.
+func gatherIMB(ctx context.Context, st *Store, m *arch.Machine, count int) (*imb.Table, error) {
+	if st == nil {
+		return imb.Run(m, count, nil)
+	}
+	return st.imbTable(ctx, m, count, func() (*imb.Table, error) {
+		return imb.Run(m, count, nil)
+	})
 }
 
 // applyInjectedDrops corrupts the gathered target-side data when the
@@ -435,8 +503,11 @@ func (p *Pipeline) CharacterizeAppCtx(ctx context.Context, b nas.Benchmark, c na
 	}
 	// Each core count's profile + counter runs are independent pure
 	// functions of (machine, workload, ranks) keys; fan them out and
-	// collect by index. The worker slot lands on the span, so a trace
-	// shows how well the pool was utilised.
+	// collect by index — or resolve them through the profile layer, where
+	// a request that shares this app and base machine with any prior one
+	// finds the observations already made. The worker slot lands on the
+	// span, so a trace shows how well the pool was utilised.
+	st := p.storeFor()
 	profiles := make([]*mpiprof.Profile, len(app.Counts))
 	pairs := make([]*CounterPair, len(app.Counts))
 	err := par.ForEachW(par.Workers(p.Workers), len(app.Counts), func(w, i int) error {
@@ -446,21 +517,12 @@ func (p *Pipeline) CharacterizeAppCtx(ctx context.Context, b nas.Benchmark, c na
 		ranks := app.Counts[i]
 		s := sp.ChildW(fmt.Sprintf("profile.%d", ranks), w)
 		defer s.End()
-		inst, err := nas.New(nas.Config{Bench: b, Class: c, Ranks: ranks})
+		art, err := p.profileArtifact(ctx, st, b, c, ranks)
 		if err != nil {
 			return err
 		}
-		res, err := inst.Run(p.Base)
-		if err != nil {
-			return fmt.Errorf("core: base profile at %d ranks: %w", ranks, err)
-		}
-		profiles[i] = res.Profile
-
-		cp, err := p.measureCounters(inst, ranks)
-		if err != nil {
-			return err
-		}
-		pairs[i] = cp
+		profiles[i] = art.Profile
+		pairs[i] = art.Counters
 		return nil
 	})
 	if err != nil {
@@ -471,6 +533,32 @@ func (p *Pipeline) CharacterizeAppCtx(ctx context.Context, b nas.Benchmark, c na
 		app.Counters[ranks] = pairs[i]
 	}
 	return app, nil
+}
+
+// profileArtifact makes (or resolves through the profile layer) one
+// (app, class, ranks) observation on the base machine: the MPI profile
+// plus the ST/SMT counter pair. Both are pure functions of the key, so a
+// stored artifact is identical to a fresh measurement.
+func (p *Pipeline) profileArtifact(ctx context.Context, st *Store, b nas.Benchmark, c nas.Class, ranks int) (*ProfileArtifact, error) {
+	fill := func() (*ProfileArtifact, error) {
+		inst, err := nas.New(nas.Config{Bench: b, Class: c, Ranks: ranks})
+		if err != nil {
+			return nil, err
+		}
+		res, err := inst.Run(p.Base)
+		if err != nil {
+			return nil, fmt.Errorf("core: base profile at %d ranks: %w", ranks, err)
+		}
+		cp, err := p.measureCounters(inst, ranks)
+		if err != nil {
+			return nil, err
+		}
+		return &ProfileArtifact{Profile: res.Profile, Counters: cp}, nil
+	}
+	if st == nil {
+		return fill()
+	}
+	return st.profileAt(ctx, p.Base, b, c, ranks, fill)
 }
 
 // measureCounters collects the ST and SMT hardware-counter observations of

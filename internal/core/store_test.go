@@ -1,0 +1,209 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/nas"
+)
+
+// TestLayerSingleflightConcurrentFill proves the singleflight contract
+// under -race: any number of concurrent requests for one missing key run
+// the fill exactly once and all observe its value.
+func TestLayerSingleflightConcurrentFill(t *testing.T) {
+	l := newLayer("test.characterisation", 8, nil)
+	var fills atomic.Int64
+	const goroutines = 32
+	results := make([]any, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = l.getOrFill(context.Background(), "k", func() (any, error) {
+				fills.Add(1)
+				time.Sleep(5 * time.Millisecond) // widen the race window
+				return "artifact", nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Errorf("fill ran %d times, want 1", n)
+	}
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i] != "artifact" {
+			t.Errorf("goroutine %d got %v", i, results[i])
+		}
+	}
+	if l.len() != 1 {
+		t.Errorf("layer holds %d entries, want 1", l.len())
+	}
+}
+
+// TestLayerConcurrentEviction hammers a small layer with overlapping keys
+// from many goroutines — fills, hits, and evictions interleaving — and
+// checks the LRU bound holds and every lookup still returns the value
+// filled for its own key. Run under -race this also proves the locking.
+func TestLayerConcurrentEviction(t *testing.T) {
+	const cap = 4
+	l := newLayer("test.profile", cap, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%12) // 12 keys > cap forces eviction
+				want := "v:" + key
+				v, err := l.getOrFill(context.Background(), key, func() (any, error) {
+					return want, nil
+				})
+				if err != nil {
+					t.Errorf("getOrFill(%s): %v", key, err)
+					return
+				}
+				if v != want {
+					t.Errorf("getOrFill(%s) = %v, want %v", key, v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := l.len(); n > cap {
+		t.Errorf("layer holds %d entries, cap is %d", n, cap)
+	}
+}
+
+// TestLayerFailedFillNotCached proves an erroring fill leaves no entry
+// behind — the next request retries instead of serving a poisoned value.
+func TestLayerFailedFillNotCached(t *testing.T) {
+	l := newLayer("test.surrogate", 8, nil)
+	wantErr := fmt.Errorf("boom")
+	if _, err := l.getOrFill(context.Background(), "k", func() (any, error) { return nil, wantErr }); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if l.len() != 0 {
+		t.Fatalf("failed fill was cached (%d entries)", l.len())
+	}
+	v, err := l.getOrFill(context.Background(), "k", func() (any, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("retry after failed fill = %v, %v", v, err)
+	}
+}
+
+// TestLayerFillDetachedFromCaller proves a fill outlives the request that
+// started it: the leader's context expires, the leader gets ctx.Err(),
+// but the artifact still lands in the layer for the next request — which
+// must not re-run the fill.
+func TestLayerFillDetachedFromCaller(t *testing.T) {
+	l := newLayer("test.characterisation", 8, nil)
+	var fills atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the caller has already given up
+	started := make(chan struct{})
+	if _, err := l.getOrFill(ctx, "k", func() (any, error) {
+		close(started)
+		fills.Add(1)
+		time.Sleep(10 * time.Millisecond)
+		return "late artifact", nil
+	}); err != context.Canceled {
+		t.Fatalf("cancelled leader got %v, want context.Canceled", err)
+	}
+	<-started
+	// The detached fill completes on its own schedule.
+	deadline := time.Now().Add(5 * time.Second)
+	for l.len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("detached fill never published its artifact")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	v, err := l.getOrFill(context.Background(), "k", func() (any, error) {
+		t.Error("fill re-ran for a published key")
+		return nil, nil
+	})
+	if err != nil || v != "late artifact" {
+		t.Fatalf("post-abandon lookup = %v, %v", v, err)
+	}
+	if n := fills.Load(); n != 1 {
+		t.Errorf("fill ran %d times, want 1", n)
+	}
+}
+
+// TestLayerKeysCollisionFree proves distinct normalised inputs can never
+// share a layer key: every variable-length component is quoted, so the
+// classic concatenation collision — ("a|b", "c") vs ("a", "b|c") — and
+// quote-smuggling names stay distinct.
+func TestLayerKeysCollisionFree(t *testing.T) {
+	m := func(name string) *arch.Machine { return &arch.Machine{Name: name} }
+	keys := []string{
+		specKey(m(`a|b`)),
+		specKey(m(`a`)),
+		specKey(m(`a"|"b`)),
+		imbKey(m(`a|b`), 16),
+		imbKey(m(`a`), 16),
+		imbKey(m(`a`), 1),
+		imbKey(m(`a|1`), 6), // would collide with ("a", 16) if unquoted
+		profileKey(m(`a|b`), nas.Benchmark("c"), 'C', 16),
+		profileKey(m(`a`), nas.Benchmark("b|c"), 'C', 16),
+		profileKey(m(`a`), nas.Benchmark(`b"|"c`), 'C', 16),
+		surrogateKey(`a|b`, `c`, `d`, 16, false),
+		surrogateKey(`a`, `b|c`, `d`, 16, false),
+		surrogateKey(`a`, `b`, `c|d`, 16, false),
+		surrogateKey(`a`, `b`, `d`, 16, false),
+		surrogateKey(`a`, `b`, `d`, 16, true),
+		surrogateKey(`a`, `b`, `d`, 1, false),
+	}
+	seen := map[string]int{}
+	for i, k := range keys {
+		if j, dup := seen[k]; dup {
+			t.Errorf("keys %d and %d collide: %s", j, i, k)
+		}
+		seen[k] = i
+	}
+}
+
+// TestStoreEvictionPrunesWarmIndex proves the warm-start index mirrors the
+// surrogate layer: when the LRU evicts an entry, its seeds leave the index
+// too, so warm-starts never resurrect genomes the store no longer holds.
+func TestStoreEvictionPrunesWarmIndex(t *testing.T) {
+	s := NewStore(StoreConfig{SurrogateCap: 2})
+	fill := func(ci int) func() (*surrogateEntry, error) {
+		return func() (*surrogateEntry, error) {
+			return &surrogateEntry{genomes: [][]float64{{float64(ci)}}}, nil
+		}
+	}
+	for _, ci := range []int{3, 4, 5} { // cap 2: filling ci=5 evicts ci=3
+		if _, err := s.surrogateAt(context.Background(), "base", "app", "tgt", ci, false, fill(ci)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, n := s.Sizes(); n != 2 {
+		t.Fatalf("surrogate layer holds %d entries, want 2", n)
+	}
+	genomes, fromCi, ok := s.NearestSurrogateSeeds("base", "app", "tgt", 3)
+	if !ok {
+		t.Fatal("no seeds for a group with resident entries")
+	}
+	if fromCi == 3 {
+		t.Fatalf("warm index served the evicted ci=3 entry")
+	}
+	if fromCi != 4 || genomes[0][0] != 4 {
+		t.Errorf("nearest to 3 = ci %d (genome %v), want resident ci 4", fromCi, genomes)
+	}
+	// An exact-count match is excluded: the surrogate layer serves it whole.
+	if _, fromCi, ok := s.NearestSurrogateSeeds("base", "app", "tgt", 4); !ok || fromCi != 5 {
+		t.Errorf("nearest to 4 = ci %d ok=%v, want the other resident entry ci 5", fromCi, ok)
+	}
+}

@@ -3,6 +3,7 @@ package ga
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 	"time"
 
@@ -196,6 +197,12 @@ func BenchmarkRunParallel(b *testing.B) { benchGA(b, 0) }
 // reports the wall-clock ratio (>= ~1 on one core, approaching the core
 // count as GOMAXPROCS grows).
 func BenchmarkRunSpeedup(b *testing.B) {
+	// At GOMAXPROCS=1 the pooled path has no second scheduler thread, so
+	// the ratio is goroutine overhead, not speedup — skip rather than
+	// record a meaningless ~1x into baselines.
+	if runtime.GOMAXPROCS(0) == 1 {
+		b.Skip("speedup ratio is meaningless at GOMAXPROCS=1 (the pooled path cannot parallelise); rerun with GOMAXPROCS>=2")
+	}
 	cfg := Config{
 		GenomeLen: 29, MaxActive: 5,
 		PopSize: 64, Generations: 30,

@@ -56,6 +56,22 @@ type Config struct {
 	MutationRate *float64
 	// Seed makes the run reproducible; required.
 	Seed string
+	// Seeds, when non-empty, are injected into the initial population in
+	// place of its first random genomes (cloned, clamped to GenomeLen and
+	// non-negative, sparsity-enforced) — the warm-start path, biasing
+	// generation 0 toward a region a neighbouring search already found
+	// good. The RNG stream is untouched: the random initial population is
+	// generated exactly as without seeds and then overwritten, so a run
+	// with Seeds nil is byte-identical to one before this field existed,
+	// and a seeded run is deterministic in (Seed, Seeds) at every worker
+	// count.
+	Seeds [][]float64
+	// StallGenerations, when positive, stops the evolution early once the
+	// best fitness has not improved for that many consecutive
+	// generations — the warm-start path's convergence cutoff, where the
+	// seeded population is expected to converge in a fraction of the
+	// generation budget. 0 — the default — runs all Generations.
+	StallGenerations int
 	// Fitness scores a genome; lower is better. Genomes are always
 	// non-negative. Required. It must be a pure function of the genome
 	// and safe for concurrent calls when Workers != 1.
@@ -140,6 +156,9 @@ type Result struct {
 	// fitness under minimisation — instead of killing the run. The
 	// offending genome stays in the population but cannot win selection.
 	Quarantined int
+	// Generations is the number of generations actually evolved —
+	// Config.Generations unless StallGenerations cut the run short.
+	Generations int
 }
 
 // individual pairs a genome with its cached score.
@@ -150,7 +169,9 @@ type individual struct {
 
 // evaluator scores genome batches on a worker pool with memoization. It is
 // used from a single goroutine; only the fitness calls it issues run
-// concurrently.
+// concurrently. The batch scratch (jobs, keyBuf, out, pending) is reused
+// across generations, so a steady-state generation's only allocations are
+// the memo insertions for genuinely new genomes.
 type evaluator struct {
 	fn          func([]float64) float64
 	workers     int
@@ -159,6 +180,18 @@ type evaluator struct {
 	hits        int
 	quarantined atomic.Int64
 	obs         *obs.Scope
+
+	jobs    []scoreJob
+	keyBuf  []byte
+	out     []float64
+	pending map[string]bool
+}
+
+// scoreJob is one deduplicated genome awaiting a fitness call.
+type scoreJob struct {
+	key     string
+	genome  []float64
+	fitness float64
 }
 
 // safeScore scores one genome, quarantining failures: a panicking fitness
@@ -180,36 +213,45 @@ func (e *evaluator) safeScore(g []float64) (f float64) {
 	return e.fn(g)
 }
 
+// appendGenomeKey packs a genome's float bits into dst as a map-key byte
+// string. Callers look the key up with m[string(dst)] — the compiler
+// elides the string conversion for map index expressions, so probing the
+// memo allocates nothing; the string is only materialised on insert.
+func appendGenomeKey(dst []byte, g []float64) []byte {
+	for _, v := range g {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
 // genomeKey packs a genome's float bits into a string map key.
 func genomeKey(g []float64) string {
-	b := make([]byte, 8*len(g))
-	for i, v := range g {
-		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
-	}
-	return string(b)
+	return string(appendGenomeKey(make([]byte, 0, 8*len(g)), g))
 }
 
 // scoreAll returns the fitness of each genome. Unseen genomes are deduped
 // within the batch, scored concurrently on the pool, and memoized; the
-// returned order matches the input order regardless of scheduling.
+// returned order matches the input order regardless of scheduling. The
+// returned slice is the evaluator's reusable scratch: it is valid until
+// the next scoreAll call.
 func (e *evaluator) scoreAll(genomes [][]float64) []float64 {
-	type job struct {
-		key     string
-		genome  []float64
-		fitness float64
+	e.jobs = e.jobs[:0]
+	if e.pending == nil {
+		e.pending = map[string]bool{}
 	}
-	keys := make([]string, len(genomes))
-	var jobs []*job
-	pending := map[string]bool{}
-	for i, g := range genomes {
-		k := genomeKey(g)
-		keys[i] = k
-		if _, ok := e.memo[k]; ok || pending[k] {
+	for _, g := range genomes {
+		e.keyBuf = appendGenomeKey(e.keyBuf[:0], g)
+		if _, ok := e.memo[string(e.keyBuf)]; ok {
 			continue
 		}
-		pending[k] = true
-		jobs = append(jobs, &job{key: k, genome: g})
+		if e.pending[string(e.keyBuf)] {
+			continue
+		}
+		k := string(e.keyBuf)
+		e.pending[k] = true
+		e.jobs = append(e.jobs, scoreJob{key: k, genome: g})
 	}
+	jobs := e.jobs
 	e.evals += len(jobs)
 	e.hits += len(genomes) - len(jobs)
 	// Batch-level counters only: the per-evaluation hot path stays
@@ -221,12 +263,17 @@ func (e *evaluator) scoreAll(genomes [][]float64) []float64 {
 		jobs[i].fitness = e.safeScore(jobs[i].genome)
 		return nil
 	})
-	for _, j := range jobs {
-		e.memo[j.key] = j.fitness
+	for i := range jobs {
+		e.memo[jobs[i].key] = jobs[i].fitness
+		delete(e.pending, jobs[i].key)
 	}
-	out := make([]float64, len(genomes))
-	for i, k := range keys {
-		out[i] = e.memo[k]
+	if cap(e.out) < len(genomes) {
+		e.out = make([]float64, len(genomes))
+	}
+	out := e.out[:len(genomes)]
+	for i, g := range genomes {
+		e.keyBuf = appendGenomeKey(e.keyBuf[:0], g)
+		out[i] = e.memo[string(e.keyBuf)]
 	}
 	return out
 }
@@ -242,6 +289,7 @@ func Run(cfg Config) (*Result, error) {
 
 	src := rng.New("ga|" + cfg.Seed)
 	res := &Result{}
+	var sparsityScratch []gene
 	ev := &evaluator{
 		fn:      cfg.Fitness,
 		workers: par.Workers(cfg.Workers),
@@ -249,11 +297,28 @@ func Run(cfg Config) (*Result, error) {
 		obs:     sp,
 	}
 
+	// Genomes live in two flat ping-pong arenas: each generation's
+	// population is carved out of one arena while its parents occupy the
+	// other, so a whole run's populations cost two allocations instead of
+	// PopSize×Generations. Anything that outlives a generation — the
+	// running best, the returned Result — is cloned out of the arenas.
+	var arenas [2][]float64
+	arenas[0] = make([]float64, cfg.PopSize*cfg.GenomeLen)
+	arenas[1] = make([]float64, cfg.PopSize*cfg.GenomeLen)
+	carve := func(arena int, i int) []float64 {
+		g := arenas[arena][i*cfg.GenomeLen : (i+1)*cfg.GenomeLen]
+		for j := range g {
+			g[j] = 0
+		}
+		return g
+	}
+	cur := 0
+
 	// Initial population: sparse random genomes, generated serially from
 	// the seeded RNG, then scored as one batch.
 	genomes := make([][]float64, cfg.PopSize)
 	for i := range genomes {
-		g := make([]float64, cfg.GenomeLen)
+		g := carve(cur, i)
 		active := cfg.MaxActive
 		if active <= 0 || active > cfg.GenomeLen {
 			active = cfg.GenomeLen
@@ -265,47 +330,81 @@ func Run(cfg Config) (*Result, error) {
 		}
 		genomes[i] = g
 	}
+	// Warm start: overwrite the first random genomes with the injected
+	// seeds — after the random generation above, so the RNG stream (and
+	// therefore every later tournament, crossover, and mutation draw) is
+	// identical with and without seeds.
+	for i, s := range cfg.Seeds {
+		if i >= len(genomes) {
+			break
+		}
+		g := genomes[i]
+		for j := range g {
+			g[j] = 0
+		}
+		for j := 0; j < len(s) && j < len(g); j++ {
+			if s[j] > 0 && !math.IsInf(s[j], 1) && !math.IsNaN(s[j]) {
+				g[j] = s[j]
+			}
+		}
+		sparsityScratch = enforceSparsityScratch(g, cfg.MaxActive, sparsityScratch[:0])
+	}
 	fits := ev.scoreAll(genomes)
 	pop := make([]individual, cfg.PopSize)
 	for i := range pop {
 		pop[i] = individual{genome: genomes[i], fitness: fits[i]}
 	}
 
-	best := bestOf(pop)
+	// The running best is cloned out of the arena: its slot will be
+	// overwritten two generations later.
+	b0 := bestOf(pop)
+	best := individual{genome: clone(b0.genome), fitness: b0.fitness}
 	res.History = append(res.History, best.fitness)
 
+	next := make([]individual, 0, cfg.PopSize)
+	children := make([][]float64, 0, cfg.PopSize)
 	obsOn := sp.Enabled()
+	stalled := 0
 	for gen := 0; gen < cfg.Generations; gen++ {
 		var genStart time.Time
 		if obsOn {
 			genStart = time.Now()
 		}
-		next := make([]individual, 0, cfg.PopSize)
+		res.Generations = gen + 1
+		nextArena := 1 - cur
+		next = next[:0]
 		// Elitism: copy the best unchanged — their fitness travels with
 		// them, so elites are never re-scored.
 		for _, e := range topK(pop, cfg.Elites) {
-			next = append(next, individual{genome: clone(e.genome), fitness: e.fitness})
+			g := carve(nextArena, len(next))
+			copy(g, e.genome)
+			next = append(next, individual{genome: g, fitness: e.fitness})
 		}
 		// Generate every child serially first (the RNG stream must not
 		// depend on evaluation scheduling), then score them as a batch.
-		children := make([][]float64, 0, cfg.PopSize-len(next))
+		children = children[:0]
 		for len(next)+len(children) < cfg.PopSize {
 			a := tournament(pop, cfg.TournamentK, src)
 			b := tournament(pop, cfg.TournamentK, src)
-			child := clone(a.genome)
+			child := carve(nextArena, len(next)+len(children))
+			copy(child, a.genome)
 			if src.Float64() < *cfg.CrossoverRate {
 				blend(child, b.genome, src)
 			}
 			mutate(child, cfg, src)
-			enforceSparsity(child, cfg.MaxActive)
+			sparsityScratch = enforceSparsityScratch(child, cfg.MaxActive, sparsityScratch[:0])
 			children = append(children, child)
 		}
 		for i, f := range ev.scoreAll(children) {
 			next = append(next, individual{genome: children[i], fitness: f})
 		}
-		pop = next
+		pop, next = next, pop
+		cur = nextArena
 		if b := bestOf(pop); b.fitness < best.fitness {
 			best = individual{genome: clone(b.genome), fitness: b.fitness}
+			stalled = 0
+		} else {
+			stalled++
 		}
 		res.History = append(res.History, best.fitness)
 		if obsOn {
@@ -314,6 +413,9 @@ func Run(cfg Config) (*Result, error) {
 			sp.Count("ga.generations", 1)
 			sp.Observe("ga.generation_seconds", time.Since(genStart).Seconds())
 			sp.Observe("ga.generation_best", best.fitness)
+		}
+		if cfg.StallGenerations > 0 && stalled >= cfg.StallGenerations {
+			break
 		}
 	}
 	res.Best = best.genome
@@ -453,26 +555,35 @@ func mutate(g []float64, cfg Config, src *rng.Source) {
 	}
 }
 
+// gene pairs a nonzero gene value with its index, for sparsity sorting.
+type gene struct {
+	v float64
+	i int
+}
+
 // enforceSparsity keeps only the maxActive largest genes: one sort of the
 // nonzero entries (value ascending, index breaking ties) and the overflow
 // is zeroed smallest-first — the same survivors as the repeated
 // minimum-scan this replaces, in O(n log n) instead of O(n·overflow).
 func enforceSparsity(g []float64, maxActive int) {
+	enforceSparsityScratch(g, maxActive, nil)
+}
+
+// enforceSparsityScratch is enforceSparsity with a caller-owned scratch
+// buffer, so the per-child nonzero list costs nothing on the GA's hot
+// path. It returns the (possibly grown) scratch for reuse.
+func enforceSparsityScratch(g []float64, maxActive int, scratch []gene) []gene {
 	if maxActive <= 0 {
-		return
+		return scratch
 	}
-	type gene struct {
-		v float64
-		i int
-	}
-	nz := make([]gene, 0, len(g))
+	nz := scratch[:0]
 	for i, v := range g {
 		if v > 0 {
 			nz = append(nz, gene{v, i})
 		}
 	}
 	if len(nz) <= maxActive {
-		return
+		return nz
 	}
 	sort.Slice(nz, func(a, b int) bool {
 		if nz[a].v != nz[b].v {
@@ -483,4 +594,5 @@ func enforceSparsity(g []float64, maxActive int) {
 	for _, z := range nz[:len(nz)-maxActive] {
 		g[z.i] = 0
 	}
+	return nz
 }

@@ -32,6 +32,7 @@ func publishExpvar(s *Scope) {
 //	/metrics.json   the same snapshot as JSON
 //	/trace.json     a live snapshot of the span tree + metrics
 func DebugHandler(s *Scope) http.Handler {
+	publishExpvar(s)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -79,7 +80,6 @@ func ServeDebug(addr string, s *Scope) (bound string, stop func() error, err err
 	if err != nil {
 		return "", nil, err
 	}
-	publishExpvar(s)
 	srv := &http.Server{Handler: DebugHandler(s)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil

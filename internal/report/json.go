@@ -1,8 +1,6 @@
 package report
 
 import (
-	"encoding/json"
-
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/quality"
@@ -205,10 +203,8 @@ func NewProjectionJSON(p *core.Projection, v *core.Validation) *ProjectionJSON {
 
 // MarshalProjection renders the wire form with a trailing newline — the
 // exact bytes swappd serves, shared with tests that pin API/CLI parity.
+// Marshalling goes through the pooled encoder (see MarshalJSONLine) so the
+// serving path reuses encode buffers; the bytes are unchanged.
 func MarshalProjection(p *core.Projection, v *core.Validation) ([]byte, error) {
-	b, err := json.Marshal(NewProjectionJSON(p, v))
-	if err != nil {
-		return nil, err
-	}
-	return append(b, '\n'), nil
+	return MarshalJSONLine(NewProjectionJSON(p, v))
 }

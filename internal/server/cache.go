@@ -3,25 +3,56 @@ package server
 import (
 	"container/list"
 	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
+	"strconv"
 	"sync"
 
 	swapp "repro"
 )
+
+// cacheKey is the content address of one evaluation result: a raw sha256.
+// Using the array itself as the map key (instead of a hex string) keeps
+// key derivation allocation-free on the serving hot path.
+type cacheKey [sha256.Size]byte
 
 // digest returns the content-addressed cache key for one evaluation: a
 // sha256 over the operation and every request field that influences the
 // numbers. Workers and Obs are excluded (the projection is byte-identical
 // across them, by the engine's determinism contract), as is the caller's
 // deadline — a request that times out for one client must still be
-// serveable from cache for the next. Requests must be normalised first so
-// that a defaulted and an explicit base share an entry.
-func digest(op string, req swapp.Request) string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s|%s|%c|%d",
-		op, req.Base, req.Target, req.Bench, req.Class, req.Ranks)))
-	return hex.EncodeToString(h[:])
+// serveable from cache for the next. warm IS included: a warm-started
+// search explores from a different generation 0 and may produce different
+// bytes, so warm and cold results never share an entry. Requests must be
+// normalised first so that a defaulted and an explicit base share an
+// entry.
+func digest(op string, req swapp.Request, warm bool) cacheKey {
+	var buf [96]byte
+	b := buf[:0]
+	b = append(b, op...)
+	b = append(b, '|')
+	b = append(b, req.Base...)
+	b = append(b, '|')
+	b = append(b, req.Target...)
+	b = append(b, '|')
+	b = append(b, string(req.Bench)...)
+	b = append(b, '|')
+	b = append(b, byte(req.Class))
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(req.Ranks), 10)
+	if warm {
+		b = append(b, "|warm"...)
+	}
+	return sha256.Sum256(b)
 }
+
+// Endpoint indices for the per-endpoint rendered-bytes slots. /v1/project
+// and /v1/surrogate share one result entry (same op) but render it
+// differently, so each endpoint owns a slot.
+const (
+	epProject = iota
+	epValidate
+	epSurrogate
+	numEndpoints
+)
 
 // call is one in-flight evaluation, shared by every request that arrived
 // while it ran. done closes exactly once, after res/err are set.
@@ -33,19 +64,23 @@ type call struct {
 
 // cache is the result store: an LRU over finished evaluations plus a
 // singleflight table collapsing duplicate in-flight ones. Entries hold
-// *swapp.Result values, which are immutable once published.
+// *swapp.Result values, which are immutable once published, plus the
+// rendered wire bytes per endpoint — rendered at most once per (entry,
+// endpoint) and served as-is on every later hit, so the hot path never
+// re-marshals a projection.
 type cache struct {
 	mu       sync.Mutex
 	max      int
-	ll       *list.List               // front = most recently used
-	entries  map[string]*list.Element // key → element; element value is *entry
-	inflight map[string]*call
+	ll       *list.List                 // front = most recently used
+	entries  map[cacheKey]*list.Element // key → element; element value is *entry
+	inflight map[cacheKey]*call
 }
 
 // entry is one LRU element's payload.
 type entry struct {
-	key string
-	res *swapp.Result
+	key      cacheKey
+	res      *swapp.Result
+	rendered [numEndpoints][]byte
 }
 
 func newCache(max int) *cache {
@@ -55,13 +90,13 @@ func newCache(max int) *cache {
 	return &cache{
 		max:      max,
 		ll:       list.New(),
-		entries:  map[string]*list.Element{},
-		inflight: map[string]*call{},
+		entries:  map[cacheKey]*list.Element{},
+		inflight: map[cacheKey]*call{},
 	}
 }
 
 // get returns the cached result for key, refreshing its recency.
-func (c *cache) get(key string) (*swapp.Result, bool) {
+func (c *cache) get(key cacheKey) (*swapp.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -72,10 +107,38 @@ func (c *cache) get(key string) (*swapp.Result, bool) {
 	return el.Value.(*entry).res, true
 }
 
+// renderedBytes returns the wire bytes for (key, ep), rendering via render
+// at most once per slot: a hit serves the stored bytes with zero
+// marshalling work. Rendering runs outside the lock (it is a pure function
+// of the immutable result); concurrent first-renders produce identical
+// bytes, so last-write-wins is benign. When the entry has been evicted the
+// bytes are rendered and returned uncached.
+func (c *cache) renderedBytes(key cacheKey, ep int, res *swapp.Result, render func(*swapp.Result) ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if ok {
+		if b := el.Value.(*entry).rendered[ep]; b != nil {
+			c.mu.Unlock()
+			return b, nil
+		}
+	}
+	c.mu.Unlock()
+	b, err := render(res)
+	if err != nil || !ok {
+		return b, err
+	}
+	c.mu.Lock()
+	if el, still := c.entries[key]; still {
+		el.Value.(*entry).rendered[ep] = b
+	}
+	c.mu.Unlock()
+	return b, nil
+}
+
 // join returns the in-flight call for key, creating it if absent. leader
 // is true for the creator, who must run the evaluation and finish it;
 // everyone else waits on call.done.
-func (c *cache) join(key string) (cl *call, leader bool) {
+func (c *cache) join(key cacheKey) (cl *call, leader bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if cl, ok := c.inflight[key]; ok {
@@ -88,14 +151,17 @@ func (c *cache) join(key string) (cl *call, leader bool) {
 
 // finish publishes the leader's outcome: successful results enter the LRU,
 // the in-flight slot is cleared either way, and every waiter is released.
-func (c *cache) finish(key string, cl *call, res *swapp.Result, err error) {
+// It returns the resulting entry count (for the size gauge).
+func (c *cache) finish(key cacheKey, cl *call, res *swapp.Result, err error) int {
 	c.mu.Lock()
 	cl.res, cl.err = res, err
 	delete(c.inflight, key)
 	if err == nil {
 		if el, ok := c.entries[key]; ok {
 			c.ll.MoveToFront(el)
-			el.Value.(*entry).res = res
+			e := el.Value.(*entry)
+			e.res = res
+			e.rendered = [numEndpoints][]byte{}
 		} else {
 			c.entries[key] = c.ll.PushFront(&entry{key: key, res: res})
 			for c.ll.Len() > c.max {
@@ -105,8 +171,10 @@ func (c *cache) finish(key string, cl *call, res *swapp.Result, err error) {
 			}
 		}
 	}
+	n := c.ll.Len()
 	c.mu.Unlock()
 	close(cl.done)
+	return n
 }
 
 // len reports the number of cached results.

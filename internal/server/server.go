@@ -18,6 +18,16 @@
 // explicit: when the admission queue is full the server answers 503 with
 // a Retry-After header instead of queueing unboundedly, and a request
 // whose deadline expires — waiting or evaluating — returns 504 promptly.
+//
+// Caching is layered to match the pipeline's reuse structure. The result
+// LRU (above) answers exact repeats, including the rendered wire bytes so
+// a hit never re-marshals. Beneath it a core.Store — shared across every
+// evaluation — caches per-machine benchmark characterisations, per-app
+// profiles, and finished compute surrogates, so requests that differ only
+// in target machine or core count ("shared-base warm" traffic) skip the
+// expensive stages they have in common instead of recomputing the world.
+// The store is purely an amortisation: projections stay byte-identical
+// with it on, off, cold, or warm.
 package server
 
 import (
@@ -31,6 +41,7 @@ import (
 	"time"
 
 	swapp "repro"
+	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/nas"
 	"repro/internal/obs"
@@ -77,9 +88,24 @@ type Config struct {
 	// to swapp.Request.Workers (0 = GOMAXPROCS). It does not enter the
 	// cache key: the projection is byte-identical at any value.
 	EvalWorkers int
-	// Obs receives the serving metrics (server.requests, server.cache_hits,
-	// server.inflight, …) and, with TraceRequests, a child span per
-	// evaluation. nil disables both.
+	// DisableLayeredCache turns off the shared core.Store, so every
+	// evaluation recomputes its characterisations, profiles, and
+	// surrogates from scratch. The result LRU still applies. Useful for
+	// cache-cold benchmarking and as an escape hatch; off (store enabled)
+	// by default.
+	DisableLayeredCache bool
+	// WarmStart opts evaluations into GA warm-starting from the layered
+	// store's nearest cached surrogate (see swapp.Request.WarmStart).
+	// Warm-started projections can differ from cold ones, so the flag
+	// enters the cache key: warm and cold results never share an entry.
+	// Off by default; requires the layered cache.
+	WarmStart bool
+	// Obs receives the serving metrics (server.requests, server.inflight,
+	// per-layer cache counters server.cache.result_hits /
+	// server.cache.characterisation_hits / server.cache.profile_hits /
+	// server.cache.surrogate_hits with their _misses and _size twins, …)
+	// and, with TraceRequests, a child span per evaluation. nil disables
+	// both.
 	Obs *obs.Scope
 	// TraceRequests attaches a span per evaluation under Obs. Off by
 	// default: a long-running server would grow the span tree without
@@ -109,7 +135,8 @@ type Server struct {
 	obs     *obs.Scope
 	eval    EvalFunc
 	cache   *cache
-	breaker *breaker // nil when disabled
+	store   *core.Store // shared layered artifact cache; nil when disabled
+	breaker *breaker    // nil when disabled
 
 	sem      chan struct{} // worker slots
 	queued   atomic.Int64  // arrivals between admission and a slot
@@ -153,6 +180,9 @@ func New(cfg Config) *Server {
 		cache: newCache(cfg.CacheSize),
 		sem:   make(chan struct{}, cfg.Workers),
 	}
+	if !cfg.DisableLayeredCache {
+		s.store = core.NewStore(core.StoreConfig{Obs: cfg.Obs, MetricPrefix: "server.cache"})
+	}
 	if cfg.BreakerThreshold > 0 {
 		s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.nowFn)
 	}
@@ -168,9 +198,9 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 // /metrics, /trace.json) is mounted alongside the API when Obs is set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/project", s.handleEval(opProject, renderProject))
-	mux.HandleFunc("/v1/validate", s.handleEval(opValidate, renderValidate))
-	mux.HandleFunc("/v1/surrogate", s.handleEval(opProject, renderSurrogate))
+	mux.HandleFunc("/v1/project", s.handleEval(opProject, "/v1/project", epProject, renderProject))
+	mux.HandleFunc("/v1/validate", s.handleEval(opValidate, "/v1/validate", epValidate, renderValidate))
+	mux.HandleFunc("/v1/surrogate", s.handleEval(opProject, "/v1/surrogate", epSurrogate, renderSurrogate))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -230,12 +260,14 @@ type apiError struct {
 var errQueueFull = errors.New("server: admission queue full")
 
 // handleEval builds the handler for one evaluation endpoint: decode,
-// normalise, cache/singleflight/admit, evaluate, render.
-func (s *Server) handleEval(op string, render func(*swapp.Result) ([]byte, error)) http.HandlerFunc {
+// normalise, cache/singleflight/admit, evaluate, render. endpoint is the
+// registered path and ep its rendered-bytes slot; both are fixed at
+// registration so the hot path never rebuilds counter names per request.
+func (s *Server) handleEval(op, endpoint string, ep int, render func(*swapp.Result) ([]byte, error)) http.HandlerFunc {
+	reqCounter := "server.requests." + endpoint
 	return func(w http.ResponseWriter, r *http.Request) {
-		endpoint := r.URL.Path
 		s.obs.Count("server.requests", 1)
-		s.obs.Count("server.requests."+endpoint, 1)
+		s.obs.Count(reqCounter, 1)
 		if err := faultinject.Fire("server.handler"); err != nil {
 			s.obs.Count("server.errors", 1)
 			writeError(w, http.StatusInternalServerError, err)
@@ -269,6 +301,16 @@ func (s *Server) handleEval(op string, render func(*swapp.Result) ([]byte, error
 			return
 		}
 
+		// Fast path: a finished result needs no deadline machinery — serve
+		// the memoised bytes without allocating a timer context.
+		key := digest(op, req, s.cfg.WarmStart)
+		start := time.Now()
+		if res, ok := s.cache.get(key); ok {
+			s.obs.Observe("server.request_seconds", time.Since(start).Seconds())
+			s.writeResult(w, key, ep, res, true, render)
+			return
+		}
+
 		timeout := s.cfg.DefaultTimeout
 		if body.TimeoutMS > 0 {
 			timeout = time.Duration(body.TimeoutMS) * time.Millisecond
@@ -279,8 +321,7 @@ func (s *Server) handleEval(op string, render func(*swapp.Result) ([]byte, error
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 
-		start := time.Now()
-		res, hit, err := s.evaluate(ctx, op, req)
+		res, hit, err := s.evaluate(ctx, op, key, req)
 		s.obs.Observe("server.request_seconds", time.Since(start).Seconds())
 		if err != nil {
 			var boe *breakerOpenError
@@ -306,21 +347,32 @@ func (s *Server) handleEval(op string, render func(*swapp.Result) ([]byte, error
 			}
 			return
 		}
-		if hit {
-			s.obs.Count("server.cache_hits", 1)
-		} else {
-			s.obs.Count("server.cache_misses", 1)
-		}
-		out, err := render(res)
-		if err != nil {
-			s.obs.Count("server.errors", 1)
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Cache", map[bool]string{true: "hit", false: "miss"}[hit])
-		_, _ = w.Write(out)
+		s.writeResult(w, key, ep, res, hit, render)
 	}
+}
+
+// writeResult serves one finished result: per-layer hit/miss accounting,
+// memoised rendering, headers, body.
+func (s *Server) writeResult(w http.ResponseWriter, key cacheKey, ep int, res *swapp.Result, hit bool, render func(*swapp.Result) ([]byte, error)) {
+	if hit {
+		s.obs.Count("server.cache.result_hits", 1)
+	} else {
+		s.obs.Count("server.cache.result_misses", 1)
+	}
+	out, err := s.cache.renderedBytes(key, ep, res, render)
+	if err != nil {
+		s.obs.Count("server.errors", 1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if hit {
+		h.Set("X-Cache", "hit")
+	} else {
+		h.Set("X-Cache", "miss")
+	}
+	_, _ = w.Write(out)
 }
 
 // statusClientClosedRequest is nginx's conventional code for a request
@@ -337,11 +389,11 @@ func retryAfterSeconds(d time.Duration) string {
 	return fmt.Sprintf("%d", secs)
 }
 
-// evaluate resolves one (op, request) through the cache: serve a finished
-// result, join an in-flight evaluation, or become the leader — pass
-// admission control and run the evaluation. hit reports a cache hit.
-func (s *Server) evaluate(ctx context.Context, op string, req swapp.Request) (res *swapp.Result, hit bool, err error) {
-	key := digest(op, req)
+// evaluate resolves one (op, request) under its precomputed cache key:
+// serve a finished result, join an in-flight evaluation, or become the
+// leader — pass admission control and run the evaluation through the
+// shared layered store. hit reports a result-cache hit.
+func (s *Server) evaluate(ctx context.Context, op string, key cacheKey, req swapp.Request) (res *swapp.Result, hit bool, err error) {
 	if res, ok := s.cache.get(key); ok {
 		return res, true, nil
 	}
@@ -370,6 +422,8 @@ func (s *Server) evaluate(ctx context.Context, op string, req swapp.Request) (re
 	evalReq := req
 	evalReq.Workers = s.cfg.EvalWorkers
 	evalReq.StageTimeout = s.cfg.StageTimeout
+	evalReq.Store = s.store
+	evalReq.WarmStart = s.cfg.WarmStart
 	if s.cfg.TraceRequests {
 		sp := s.obs.Child(fmt.Sprintf("server.%s.%s.%c@%d:%s", op, evalReq.Bench, evalReq.Class, evalReq.Ranks, evalReq.Target))
 		evalReq.Obs = sp
@@ -379,7 +433,8 @@ func (s *Server) evaluate(ctx context.Context, op string, req swapp.Request) (re
 	s.obs.Gauge("server.inflight", float64(s.inflight.Add(-1)))
 	<-s.sem
 	s.breaker.record(err)
-	s.cache.finish(key, cl, res, err)
+	n := s.cache.finish(key, cl, res, err)
+	s.obs.Gauge("server.cache.result_size", float64(n))
 	return res, false, err
 }
 
@@ -440,13 +495,9 @@ type surrogateResponse struct {
 // renderSurrogate extracts the compute section from a projection.
 func renderSurrogate(res *swapp.Result) ([]byte, error) {
 	j := report.NewProjectionJSON(res.Projection, nil)
-	b, err := json.Marshal(surrogateResponse{
+	return report.MarshalJSONLine(surrogateResponse{
 		App: j.App, Target: j.Target, Ranks: j.Ranks, Compute: j.Compute,
 	})
-	if err != nil {
-		return nil, err
-	}
-	return append(b, '\n'), nil
 }
 
 // writeError emits the JSON error body with the given status.
@@ -462,3 +513,13 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 // CacheLen reports the number of cached results (tests, /readyz probes).
 func (s *Server) CacheLen() int { return s.cache.len() }
+
+// StoreSizes reports the layered store's per-layer entry counts
+// (characterisations, profiles, surrogates). All zero when the layered
+// cache is disabled.
+func (s *Server) StoreSizes() (chars, profiles, surrogates int) {
+	if s.store == nil {
+		return 0, 0, 0
+	}
+	return s.store.Sizes()
+}

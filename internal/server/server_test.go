@@ -115,11 +115,11 @@ func TestCacheHitSecondRequest(t *testing.T) {
 		t.Errorf("X-Cache = %q, %q; want miss, hit", hdr1.Get("X-Cache"), hdr2.Get("X-Cache"))
 	}
 	m := scope.Metrics()
-	if hits, _ := m.Counter("server.cache_hits"); hits != 1 {
-		t.Errorf("server.cache_hits = %d, want 1", hits)
+	if hits, _ := m.Counter("server.cache.result_hits"); hits != 1 {
+		t.Errorf("server.cache.result_hits = %d, want 1", hits)
 	}
-	if misses, _ := m.Counter("server.cache_misses"); misses != 1 {
-		t.Errorf("server.cache_misses = %d, want 1", misses)
+	if misses, _ := m.Counter("server.cache.result_misses"); misses != 1 {
+		t.Errorf("server.cache.result_misses = %d, want 1", misses)
 	}
 	if reqs, _ := m.Counter("server.requests"); reqs != 2 {
 		t.Errorf("server.requests = %d, want 2", reqs)

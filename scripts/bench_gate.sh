@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# bench_gate.sh — serving-layer regression gate: re-run the swappbench
+# cache-hot and shared-base-warm scenarios and compare them against the
+# committed BENCH_swappd.json, failing on >20% regressions. allocs/op is
+# gated everywhere; p95 latency is gated only when the committed baseline
+# was recorded on comparable hardware (same CPU count and GOMAXPROCS) —
+# swappbench skips latency gates across hosts on its own.
+#
+# Knobs (env): BENCH_GATE_MAX_REGRESS (default 20), BENCH_GATE_COLD /
+# _WARM / _HOT / _DEGRADED to reshape the measured mix (defaults 0/10/200/0:
+# the cold scenario costs minutes and its allocs are pipeline-dominated,
+# so the gate leans on the cheap, serving-sensitive scenarios).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+max=${BENCH_GATE_MAX_REGRESS:-20}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/swappbench" ./cmd/swappbench
+"$tmp/swappbench" \
+    -cold "${BENCH_GATE_COLD:-0}" \
+    -warm "${BENCH_GATE_WARM:-10}" \
+    -hot "${BENCH_GATE_HOT:-200}" \
+    -degraded "${BENCH_GATE_DEGRADED:-0}" \
+    -out "$tmp/run.json" \
+    -gate BENCH_swappd.json \
+    -max-regress "$max"
+echo "bench-gate: pass (max tolerated regression ${max}%)"

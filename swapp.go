@@ -97,6 +97,23 @@ type Request struct {
 	// real workflow, and the degraded-input path: partial data flows
 	// through with recorded defects instead of failing.
 	Data *core.PipelineData
+	// Store, when non-nil, is a layered artifact cache shared across
+	// requests (see core.NewStore): machine characterisations, app
+	// profiles, and finished compute surrogates are resolved through it
+	// instead of recomputed, amortising the pipeline's cost across every
+	// request that shares a machine, an app, or a (base, app, target)
+	// triple. Purely an amortisation — the projection is byte-identical
+	// with or without a store — and ignored when Data supplies external
+	// benchmark data or while fault injection is armed.
+	Store *core.Store
+	// WarmStart opts the GA surrogate search into seeding its initial
+	// population from Store's nearest cached surrogate for the same
+	// (base, app, target). Unlike Store itself this CAN change the
+	// projected numbers — the search explores from a different
+	// generation 0, and the outcome depends on which prior requests
+	// populated the store — so it is off by default and recorded in the
+	// projection's Quality report when it fires. Requires Store.
+	WarmStart bool
 }
 
 // withDefaults validates and fills the request.
@@ -252,7 +269,8 @@ func prepare(ctx context.Context, req Request) (*core.Pipeline, *core.AppModel, 
 	if err := req.stage(ctx, "pipeline", func(c context.Context) error {
 		var err error
 		pipe, err = core.NewPipelineCtx(c, base, target, counts,
-			core.Options{Workers: req.Workers, Obs: req.Obs, Data: req.Data})
+			core.Options{Workers: req.Workers, Obs: req.Obs, Data: req.Data,
+				Store: req.Store, WarmStart: req.WarmStart})
 		return err
 	}); err != nil {
 		return nil, nil, err
