@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-serve fuzz cover serve-smoke chaos
+.PHONY: check build vet test race bench bench-serve fuzz cover serve-smoke cluster-smoke chaos
 
 ## check: everything CI runs — vet, build, full tests, race tests.
 check: vet build test race
@@ -43,6 +43,12 @@ fuzz:
 # then again with -faults arming an evaluation panic: 500, stay up, retry.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Peer-aware smoke: 3 swappd replicas on one consistent-hash ring, a
+# grouped /v1/batch round-trip, two peers crashed (survivor must answer
+# byte-identically via local fallback), rejoin, SIGTERM clean drain.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Fault-tolerance suite under the race detector with shuffled order:
 # injected faults, recovered panics, breaker trips, GA quarantine,

@@ -27,6 +27,8 @@
 //	cache-hot         one request repeated — the result-cache hit path
 //	degraded-input    requests against fault-injected benchmark data —
 //	                  the lenient/quality path
+//	multi-replica-batch  3 peer-wired in-process replicas; each measured op
+//	                  is one /v1/batch whose groups hash across the ring
 package main
 
 import (
@@ -66,14 +68,16 @@ func (r apiReq) body() string {
 
 // scenario is one request distribution plus the server mode it needs.
 type scenario struct {
-	name    string
-	note    string
-	prime   []apiReq // served before measurement starts (not timed)
-	reqs    []apiReq // measured, in order (never cycled: repeats would hit the result cache)
-	repeat  apiReq   // when set, measured -n repetitions of one request
-	n       int      // measured request count for repeat-mode scenarios
-	faults  string   // faultinject spec armed for the scenario (in-process only)
-	noStore bool     // disable the layered artifact store (cache-cold baseline)
+	name     string
+	note     string
+	prime    []apiReq // served before measurement starts (not timed)
+	reqs     []apiReq // measured, in order (never cycled: repeats would hit the result cache)
+	repeat   apiReq   // when set, measured -n repetitions of one request
+	n        int      // measured request count for repeat-mode scenarios
+	faults   string   // faultinject spec armed for the scenario (in-process only)
+	noStore  bool     // disable the layered artifact store (cache-cold baseline)
+	replicas int      // when >1, host this many peer-wired replicas (in-process only)
+	batch    []apiReq // when set, each measured op is one /v1/batch of these requests
 }
 
 // scenarioResult is the measured outcome, serialised into BENCH_swappd.json.
@@ -107,6 +111,7 @@ type runConfig struct {
 	Warm        int    `json:"warm"`
 	Hot         int    `json:"hot"`
 	Degraded    int    `json:"degraded"`
+	Multi       int    `json:"multi,omitempty"`
 	Mode        string `json:"mode"` // "in-process" or the external address
 }
 
@@ -150,6 +155,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		warm      = fs.Int("warm", 10, "shared-base-warm requests (0 disables, max 10 distinct)")
 		hot       = fs.Int("hot", 200, "cache-hot requests (0 disables)")
 		degraded  = fs.Int("degraded", 3, "degraded-input requests (0 disables, max 3 distinct; in-process only)")
+		multi     = fs.Int("multi", 8, "multi-replica /v1/batch round-trips across 3 peer-wired replicas (0 disables; in-process only)")
 		cacheSize = fs.Int("cache", 128, "server result-cache capacity (in-process mode)")
 		evalW     = fs.Int("eval-workers", 0, "engine pool per evaluation (in-process mode)")
 		timeout   = fs.Duration("timeout", 5*time.Minute, "per-request client timeout")
@@ -167,7 +173,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	scenarios := buildScenarios(*cold, *warm, *hot, *degraded, *addr != "")
+	scenarios := buildScenarios(*cold, *warm, *hot, *degraded, *multi, *addr != "")
 	if len(scenarios) == 0 {
 		fmt.Fprintln(stderr, "swappbench: all scenarios disabled")
 		return 2
@@ -188,7 +194,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		},
 		Config: runConfig{
 			Concurrency: *conc, Cold: *cold, Warm: *warm, Hot: *hot, Degraded: *degraded,
-			Mode: modeName(*addr),
+			Multi: *multi,
+			Mode:  modeName(*addr),
 		},
 		Notes: notes,
 	}
@@ -264,7 +271,7 @@ func measuredCount(sc scenario) int {
 // requested sizes. Unique-request scenarios are never cycled: a repeated
 // request would hit the result cache and stop measuring what the scenario
 // claims to.
-func buildScenarios(cold, warm, hot, degraded int, external bool) []scenario {
+func buildScenarios(cold, warm, hot, degraded, multi int, external bool) []scenario {
 	var out []scenario
 	if cold > 0 {
 		reqs := []apiReq{
@@ -306,6 +313,28 @@ func buildScenarios(cold, warm, hot, degraded int, external bool) []scenario {
 			n:      hot,
 		})
 	}
+	if multi > 0 && !external {
+		// Six requests hashing to three (base, target) ring groups, so every
+		// batch exercises grouping plus peer forwarding. One untimed batch
+		// primes the owners; the measured round-trips are then hot at every
+		// replica and isolate the routing overhead itself.
+		batch := []apiReq{
+			{Target: "bgp", Bench: "BT-MZ", Class: "C", Ranks: 16},
+			{Target: "bgp", Bench: "SP-MZ", Class: "C", Ranks: 16},
+			{Target: "power6-575", Bench: "BT-MZ", Class: "C", Ranks: 16},
+			{Target: "power6-575", Bench: "BT-MZ", Class: "C", Ranks: 32},
+			{Target: "westmere-x5670", Bench: "LU-MZ", Class: "C", Ranks: 16},
+			{Target: "westmere-x5670", Bench: "SP-MZ", Class: "C", Ranks: 32},
+		}
+		out = append(out, scenario{
+			name: "multi-replica-batch",
+			note: "3 peer-wired replicas; each measured op is one /v1/batch of 6 requests " +
+				"spanning 3 ring groups, owners primed: grouping + forwarding overhead on the hot path",
+			replicas: 3,
+			batch:    batch,
+			n:        multi,
+		})
+	}
 	if degraded > 0 && !external {
 		reqs := []apiReq{
 			{Target: "bgp", Bench: "SP-MZ", Class: "C", Ranks: 16},
@@ -330,7 +359,11 @@ func runScenario(sc scenario, addr string, conc, cacheSize, evalWorkers int, tim
 	var shutdown func()
 	if base == "" {
 		var err error
-		base, shutdown, err = startServer(sc, cacheSize, evalWorkers)
+		if sc.replicas > 1 {
+			base, shutdown, err = startReplicas(sc, cacheSize, evalWorkers)
+		} else {
+			base, shutdown, err = startServer(sc, cacheSize, evalWorkers)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -344,23 +377,46 @@ func runScenario(sc scenario, addr string, conc, cacheSize, evalWorkers int, tim
 	}
 	client := &http.Client{Timeout: timeout}
 	url := "http://" + strings.TrimPrefix(base, "http://") + "/v1/project"
+	payload := func(r apiReq) string { return r.body() }
+	if len(sc.batch) > 0 {
+		url = "http://" + strings.TrimPrefix(base, "http://") + "/v1/batch"
+		items := make([]string, len(sc.batch))
+		for i, r := range sc.batch {
+			items[i] = r.body()
+		}
+		body := `{"requests":[` + strings.Join(items, ",") + `]}`
+		payload = func(apiReq) string { return body }
+	}
 
 	do := func(r apiReq) (time.Duration, error) {
 		t0 := time.Now()
-		resp, err := client.Post(url, "application/json", strings.NewReader(r.body()))
+		resp, err := client.Post(url, "application/json", strings.NewReader(payload(r)))
 		if err != nil {
 			return 0, err
 		}
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		d := time.Since(t0)
 		if resp.StatusCode != http.StatusOK {
-			return 0, fmt.Errorf("%s: status %d: %s", r.body(), resp.StatusCode, firstLine(body))
+			return 0, fmt.Errorf("%s: status %d: %s", payload(r), resp.StatusCode, firstLine(body))
 		}
-		return time.Since(t0), nil
+		if len(sc.batch) > 0 {
+			if err := checkBatch(body, len(sc.batch)); err != nil {
+				return 0, err
+			}
+		}
+		return d, nil
 	}
 
 	for _, r := range sc.prime {
 		if _, err := do(r); err != nil {
+			return nil, fmt.Errorf("prime: %w", err)
+		}
+	}
+	if len(sc.batch) > 0 {
+		// One untimed batch pays the pipeline cost of filling every group's
+		// owner; the measured round-trips below then isolate routing.
+		if _, err := do(apiReq{}); err != nil {
 			return nil, fmt.Errorf("prime: %w", err)
 		}
 	}
@@ -461,6 +517,83 @@ func startServer(sc scenario, cacheSize, evalWorkers int) (string, func(), error
 		scope.End()
 	}
 	return ln.Addr().String(), stop, nil
+}
+
+// startReplicas hosts sc.replicas peer-wired projection servers on loopback
+// listeners — the consistent-hash ring of DESIGN.md §13 — and returns the
+// first replica's address: the load generator drives one node and lets the
+// ring fan the groups out. Listeners are bound before any server is
+// constructed so every replica knows the full peer list up front.
+func startReplicas(sc scenario, cacheSize, evalWorkers int) (string, func(), error) {
+	n := sc.replicas
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns[:i] {
+				_ = l.Close()
+			}
+			return "", nil, err
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	servers := make([]*http.Server, n)
+	scopes := make([]*obs.Scope, n)
+	for i := range servers {
+		peers := make([]string, 0, n-1)
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		scopes[i] = obs.New(fmt.Sprintf("swappbench-replica%d", i))
+		srv := server.New(server.Config{
+			CacheSize:   cacheSize,
+			EvalWorkers: evalWorkers,
+			Obs:         scopes[i],
+			Self:        urls[i],
+			Peers:       peers,
+
+			DisableLayeredCache: sc.noStore,
+		})
+		servers[i] = &http.Server{Handler: srv.Handler()}
+		go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(servers[i], lns[i])
+	}
+	stop := func() {
+		for _, hs := range servers {
+			_ = hs.Close()
+		}
+		for _, s := range scopes {
+			s.End()
+		}
+	}
+	return lns[0].Addr().String(), stop, nil
+}
+
+// checkBatch verifies a 200 batch envelope really carried n individual
+// successes — a batch with failed entries must count as a scenario error,
+// not a fast "success".
+func checkBatch(body []byte, n int) error {
+	var doc struct {
+		Results []struct {
+			Status int    `json:"status"`
+			Error  string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("parsing batch response: %w", err)
+	}
+	if len(doc.Results) != n {
+		return fmt.Errorf("batch returned %d results, want %d", len(doc.Results), n)
+	}
+	for i, r := range doc.Results {
+		if r.Status != http.StatusOK {
+			return fmt.Errorf("batch entry %d: status %d: %s", i, r.Status, r.Error)
+		}
+	}
+	return nil
 }
 
 // memSnapshot captures the server process's allocation counters: straight

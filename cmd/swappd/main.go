@@ -9,8 +9,13 @@
 //
 // Endpoints (see internal/server and DESIGN.md §10):
 //
-//	POST /v1/project /v1/validate /v1/surrogate
+//	POST /v1/project /v1/validate /v1/surrogate /v1/batch /v1/jobs
+//	GET  /v1/jobs/{id} /v1/jobs/{id}/events /v1/jobs/{id}/result
 //	GET  /healthz /readyz /metrics /metrics.json /debug/pprof/
+//
+// With -self and -peers set, replicas form a consistent-hash ring and
+// forward each (base, target) group to its owning replica (see DESIGN.md
+// §13); a dead peer degrades to local computation.
 //
 // Example:
 //
@@ -27,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,6 +69,12 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		brkCooldown = fs.Duration("breaker-cooldown", 0, "open-circuit rejection window before a probe (0 = default 10s)")
 		layered     = fs.Bool("layered-cache", true, "share characterisations, profiles and surrogates across requests (does not affect the numbers)")
 		warmStart   = fs.Bool("warm-start", false, "seed GA surrogate searches from the nearest cached surrogate (CAN change the numbers; recorded in the quality block)")
+		self        = fs.String("self", "", "this replica's advertised base URL in peer-aware mode (e.g. http://10.0.0.1:8080)")
+		peers       = fs.String("peers", "", "comma-separated base URLs of the other replicas; with -self, enables consistent-hash request routing")
+		jobsActive  = fs.Int("jobs-active", 0, "max concurrently running async jobs (0 = default 2)")
+		jobsQueued  = fs.Int("jobs-queued", 0, "async jobs waiting beyond the running ones (0 = default 4x active)")
+		jobsResumes = fs.Int("jobs-resumes", 0, "checkpoint resumes after a failed job attempt (0 = default 1, negative = off)")
+		jobsTimeout = fs.Duration("jobs-timeout", 0, "end-to-end async job deadline across resume attempts (0 = default 30m)")
 		faults      = fs.String("faults", os.Getenv("SWAPP_FAULTS"),
 			"fault-injection spec, e.g. 'server.eval=panic#1' (default $SWAPP_FAULTS; testing only)")
 	)
@@ -95,6 +107,13 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 
 		DisableLayeredCache: !*layered,
 		WarmStart:           *warmStart,
+
+		Self:           *self,
+		Peers:          splitPeers(*peers),
+		JobsMaxActive:  *jobsActive,
+		JobsMaxQueued:  *jobsQueued,
+		JobsMaxResumes: *jobsResumes,
+		JobsTimeout:    *jobsTimeout,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -122,10 +141,12 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	case <-sig:
 	}
 
-	// Drain: flip readiness so load balancers stop routing here, then let
-	// in-flight requests finish under the grace deadline.
+	// Drain: flip readiness so load balancers stop routing here, stop
+	// accepting async job submissions, then let in-flight requests finish
+	// under the grace deadline.
 	fmt.Fprintln(stderr, "swappd: signal received, draining")
 	srv.SetDraining(true)
+	srv.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
@@ -134,6 +155,18 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	}
 	fmt.Fprintln(stderr, "swappd: drained")
 	return 0
+}
+
+// splitPeers parses the comma-separated -peers list, dropping empties so a
+// trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // newHTTPServer hardens the listener against slow or hostile clients: a

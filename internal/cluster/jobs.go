@@ -1,0 +1,434 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// JobState is one phase of a job's lifecycle.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Snapshot is one per-generation progress observation from a running GA
+// search: which ensemble member, which generation, and the best fitness so
+// far. The best genome travels with it internally as the job's resumable
+// checkpoint but is not serialised — clients track convergence, the
+// manager tracks restart state.
+type Snapshot struct {
+	Member      int     `json:"member"`
+	Generation  int     `json:"generation"`
+	BestFitness float64 `json:"best_fitness"`
+
+	// Best is the member's best genome at this generation — the checkpoint
+	// material. Must be safe for the manager to retain (cloned by the
+	// producer).
+	Best []float64 `json:"-"`
+}
+
+// Event is one item on a job's subscription stream.
+type Event struct {
+	// Type is "progress" while the job runs, then exactly one "done".
+	Type string `json:"type"`
+	// Snapshot accompanies progress events.
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+	// State accompanies the done event.
+	State JobState `json:"state,omitempty"`
+}
+
+// RunFunc executes one attempt of a job's evaluation. seeds is nil on the
+// first attempt and the job's checkpoint genomes on resume attempts;
+// progress receives per-generation snapshots and must be called from at
+// most the attempt's own goroutines (it is safe for concurrent use). The
+// returned bytes are the job's result document, served verbatim.
+type RunFunc func(ctx context.Context, seeds [][]float64, progress func(Snapshot)) ([]byte, error)
+
+// ErrJobQueueFull rejects a submission when the backlog is at capacity.
+var ErrJobQueueFull = errors.New("cluster: job queue full")
+
+// ErrJobUnknown reports a lookup for an absent (or evicted) job.
+var ErrJobUnknown = errors.New("cluster: unknown job")
+
+// ManagerConfig parameterises a job Manager. The zero value is usable.
+type ManagerConfig struct {
+	// MaxActive bounds concurrently running jobs (default 2 — jobs are
+	// whole GA searches, each already internally parallel).
+	MaxActive int
+	// MaxQueued bounds jobs waiting beyond the running ones (default
+	// 4×MaxActive): at most MaxActive+MaxQueued unfinished jobs exist at
+	// once. Submissions beyond that fail with ErrJobQueueFull.
+	MaxQueued int
+	// MaxResumes bounds checkpoint-resume attempts after a failed run
+	// (default 1). Each resume re-runs the evaluation with the latest
+	// checkpoint genomes as GA seeds.
+	MaxResumes int
+	// Retain bounds finished jobs kept for polling (default 64; oldest
+	// finished evicted first).
+	Retain int
+	// HistoryCap bounds retained progress snapshots per job (default 256,
+	// oldest dropped). The checkpoint always reflects the newest snapshot
+	// per member regardless of history eviction.
+	HistoryCap int
+	// Timeout bounds one job end to end, across resume attempts
+	// (default 30m).
+	Timeout time.Duration
+	// Obs receives jobs.active / jobs.queued gauges and jobs.completed /
+	// jobs.failed / jobs.resumed counters. nil disables metrics.
+	Obs *obs.Scope
+}
+
+// Manager owns the replica's async jobs: bounded admission, background
+// execution with panic containment, per-generation progress fan-out, and
+// checkpoint resume built on the GA's warm-start seeds.
+type Manager struct {
+	cfg ManagerConfig
+	obs *obs.Scope
+
+	sem     chan struct{}
+	queued  atomic.Int64
+	active  atomic.Int64
+	nextID  atomic.Int64
+	closing atomic.Bool
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // submission order, for eviction
+}
+
+// NewManager builds a Manager from cfg, applying defaults.
+func NewManager(cfg ManagerConfig) *Manager {
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = 2
+	}
+	if cfg.MaxQueued <= 0 {
+		cfg.MaxQueued = 4 * cfg.MaxActive
+	}
+	if cfg.MaxResumes < 0 {
+		cfg.MaxResumes = 0
+	} else if cfg.MaxResumes == 0 {
+		cfg.MaxResumes = 1
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = 64
+	}
+	if cfg.HistoryCap <= 0 {
+		cfg.HistoryCap = 256
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Minute
+	}
+	return &Manager{
+		cfg:  cfg,
+		obs:  cfg.Obs,
+		sem:  make(chan struct{}, cfg.MaxActive),
+		jobs: map[string]*Job{},
+	}
+}
+
+// Job is one asynchronous evaluation. All fields are guarded by mu; read
+// through Status / WaitDone / Subscribe.
+type Job struct {
+	ID string
+	Op string
+
+	mu         sync.Mutex
+	state      JobState
+	history    []Snapshot
+	snapshots  int               // total observed, including evicted
+	checkpoint map[int][]float64 // member → newest best genome
+	attempts   int
+	resumed    bool
+	result     []byte
+	errMsg     string
+	done       chan struct{}
+	subs       map[int]chan Event
+	nextSub    int
+}
+
+// JobStatus is the JSON-ready view of a job, served by GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	Op       string   `json:"op"`
+	State    JobState `json:"state"`
+	Attempts int      `json:"attempts"`
+	Resumed  bool     `json:"resumed,omitempty"`
+	// Snapshots counts every progress observation; Progress is the
+	// retained tail.
+	Snapshots int        `json:"snapshots"`
+	Progress  []Snapshot `json:"progress,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	// HasResult reports a retrievable result document (see the manager's
+	// Result accessor); the document itself is served by the jobs API.
+	HasResult bool `json:"has_result"`
+}
+
+// Submit enqueues one evaluation and returns its job immediately. The
+// evaluation runs in the background: queued until a slot frees, resumed
+// from its checkpoint on failure, finished exactly once.
+func (m *Manager) Submit(op string, run RunFunc) (*Job, error) {
+	if m.closing.Load() {
+		return nil, ErrJobQueueFull
+	}
+	if m.queued.Add(1) > int64(m.cfg.MaxQueued+m.cfg.MaxActive) {
+		m.queued.Add(-1)
+		return nil, ErrJobQueueFull
+	}
+	j := &Job{
+		ID:         fmt.Sprintf("job-%d", m.nextID.Add(1)),
+		Op:         op,
+		state:      JobQueued,
+		checkpoint: map[int][]float64{},
+		done:       make(chan struct{}),
+		subs:       map[int]chan Event{},
+	}
+	m.mu.Lock()
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.evictLocked()
+	m.mu.Unlock()
+	m.obs.Gauge("jobs.queued", float64(m.queued.Load()))
+
+	go m.execute(j, run)
+	return j, nil
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention bound.
+// Running or queued jobs are never evicted.
+func (m *Manager) evictLocked() {
+	for len(m.order) > m.cfg.Retain {
+		evicted := false
+		for i, id := range m.order {
+			j := m.jobs[id]
+			j.mu.Lock()
+			finished := j.state == JobDone || j.state == JobFailed
+			j.mu.Unlock()
+			if finished {
+				delete(m.jobs, id)
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything live; let the backlog bound catch up
+		}
+	}
+}
+
+// execute runs one job to completion: take a slot, attempt the evaluation,
+// resume from the checkpoint on failure, publish the outcome.
+func (m *Manager) execute(j *Job, run RunFunc) {
+	// The backlog counter decrements only when the job finishes, so the
+	// admission bound (MaxActive+MaxQueued unfinished jobs) is exact — a
+	// submission can never sneak past it by racing a slot acquisition.
+	defer func() {
+		m.queued.Add(-1)
+		m.obs.Gauge("jobs.queued", float64(m.queued.Load()))
+	}()
+	m.sem <- struct{}{}
+	defer func() { <-m.sem }()
+	m.obs.Gauge("jobs.active", float64(m.active.Add(1)))
+	defer func() { m.obs.Gauge("jobs.active", float64(m.active.Add(-1))) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.Timeout)
+	defer cancel()
+
+	j.mu.Lock()
+	j.state = JobRunning
+	j.mu.Unlock()
+
+	progress := func(s Snapshot) { m.record(j, s) }
+	var result []byte
+	var err error
+	for attempt := 0; ; attempt++ {
+		var seeds [][]float64
+		if attempt > 0 {
+			seeds = j.checkpointSeeds()
+		}
+		j.mu.Lock()
+		j.attempts = attempt + 1
+		if attempt > 0 {
+			j.resumed = true
+		}
+		j.mu.Unlock()
+		result, err = m.attempt(ctx, run, seeds, progress)
+		if err == nil || attempt >= m.cfg.MaxResumes || ctx.Err() != nil {
+			break
+		}
+		m.obs.Count("jobs.resumed", 1)
+	}
+
+	j.mu.Lock()
+	if err != nil {
+		j.state = JobFailed
+		j.errMsg = err.Error()
+	} else {
+		j.state = JobDone
+		j.result = result
+	}
+	// All subscriber sends and closes happen under j.mu (non-blocking on
+	// buffered channels), so a concurrent Subscribe can never observe a
+	// half-closed stream.
+	done := Event{Type: "done", State: j.state}
+	for _, ch := range j.subs {
+		// A full channel is a slow consumer; it gets the done event
+		// best-effort before close.
+		select {
+		case ch <- done:
+		default:
+		}
+		close(ch)
+	}
+	j.subs = map[int]chan Event{}
+	j.mu.Unlock()
+
+	if err != nil {
+		m.obs.Count("jobs.failed", 1)
+	} else {
+		m.obs.Count("jobs.completed", 1)
+	}
+	close(j.done)
+}
+
+// attempt runs one evaluation attempt with panic containment: a panicking
+// worker becomes a failed attempt — and therefore a checkpoint resume —
+// not a dead manager goroutine.
+func (m *Manager) attempt(ctx context.Context, run RunFunc, seeds [][]float64, progress func(Snapshot)) (result []byte, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			result, err = nil, fmt.Errorf("cluster: job worker panicked: %v", v)
+		}
+	}()
+	return run(ctx, seeds, progress)
+}
+
+// record stores one progress snapshot: history tail, checkpoint update,
+// live fan-out.
+func (m *Manager) record(j *Job, s Snapshot) {
+	j.mu.Lock()
+	j.snapshots++
+	j.history = append(j.history, s)
+	if len(j.history) > m.cfg.HistoryCap {
+		j.history = j.history[len(j.history)-m.cfg.HistoryCap:]
+	}
+	if len(s.Best) > 0 {
+		j.checkpoint[s.Member] = s.Best
+	}
+	snap := s
+	ev := Event{Type: "progress", Snapshot: &snap}
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than stall the search
+		}
+	}
+	j.mu.Unlock()
+}
+
+// checkpointSeeds flattens the newest per-member best genomes, in member
+// order — the ga.Config.Seeds payload for a resume attempt.
+func (j *Job) checkpointSeeds() [][]float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	members := make([]int, 0, len(j.checkpoint))
+	for m := range j.checkpoint {
+		members = append(members, m)
+	}
+	// Insertion sort: member counts are tiny (the GA ensemble is 3).
+	for i := 1; i < len(members); i++ {
+		for k := i; k > 0 && members[k] < members[k-1]; k-- {
+			members[k], members[k-1] = members[k-1], members[k]
+		}
+	}
+	seeds := make([][]float64, 0, len(members))
+	for _, m := range members {
+		seeds = append(seeds, j.checkpoint[m])
+	}
+	return seeds
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrJobUnknown
+	}
+	return j, nil
+}
+
+// Status returns the JSON-ready view of a job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.ID, Op: j.Op, State: j.state,
+		Attempts: j.attempts, Resumed: j.resumed,
+		Snapshots: j.snapshots, Error: j.errMsg,
+		HasResult: j.result != nil,
+	}
+	st.Progress = append(st.Progress, j.history...)
+	return st
+}
+
+// Result returns the finished result document, or false while the job has
+// not succeeded.
+func (j *Job) Result() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Done returns a channel closed when the job finishes (either way).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Subscribe attaches a live event stream: the retained history replays
+// first (as progress events), then live snapshots, then exactly one done
+// event before close — unless the job already finished, in which case the
+// stream is history + done. cancel detaches early (the channel is closed).
+func (j *Job) Subscribe() (<-chan Event, func()) {
+	j.mu.Lock()
+	replay := append([]Snapshot(nil), j.history...)
+	finished := j.state == JobDone || j.state == JobFailed
+	ch := make(chan Event, len(replay)+64)
+	for i := range replay {
+		ch <- Event{Type: "progress", Snapshot: &replay[i]}
+	}
+	if finished {
+		ch <- Event{Type: "done", State: j.state}
+		close(ch)
+		j.mu.Unlock()
+		return ch, func() {}
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	j.mu.Unlock()
+	cancel := func() {
+		j.mu.Lock()
+		if c, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(c)
+		}
+		j.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Close stops accepting submissions. Running jobs finish on their own.
+func (m *Manager) Close() { m.closing.Store(true) }

@@ -1,0 +1,140 @@
+// Package cluster is the scale-out substrate behind a sharded swappd
+// deployment: a consistent-hash ring that assigns normalised request
+// groups to replicas, and an async job manager for expensive GA searches
+// with per-generation progress snapshots and resumable checkpoints.
+//
+// The ring answers one question deterministically on every replica: which
+// replica owns a (base, target) request group? All replicas are configured
+// with the same peer list, so they all compute the same answer and a group's
+// characterisation work concentrates on its owner — the owner's layered
+// store fills once and every forwarded request reuses it (the peer cache
+// fill). Ownership is a routing preference, not a correctness requirement:
+// a replica that cannot reach a group's owner computes locally and stays
+// byte-identical, because every projection is a pure function of its
+// request.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// GroupKey is the normalised routing (and batch-grouping) key for one
+// request: the (base, target) machine pair. Requests sharing it share the
+// expensive characterisation artifacts, so both the batch planner and the
+// ring route by it. Components are %q-quoted, so distinct pairs can never
+// collapse onto one key.
+func GroupKey(base, target string) string {
+	return fmt.Sprintf("%q|%q", base, target)
+}
+
+// vnodesPerNode is the number of ring positions each node occupies.
+// 64 keeps the ownership spread within a few percent of even for small
+// clusters while the ring stays tiny (a 16-replica ring is 1024 points).
+const vnodesPerNode = 64
+
+// Ring is an immutable consistent-hash ring over replica addresses. Build
+// with NewRing; share freely — all methods are safe for concurrent use.
+//
+// Hashing is sha256-based and endianness-pinned, so every replica — and
+// every future process — computes identical ownership for identical
+// membership. Adding or removing one node moves only the keys that node's
+// arcs cover (about 1/n of the keyspace), never reshuffling the rest: the
+// property that makes peer caches survive membership changes.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // sorted, deduplicated membership
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over the given node addresses. Duplicates are
+// collapsed and order is irrelevant: two rings built from permutations of
+// the same membership are identical. An empty membership yields a ring
+// that owns nothing (Owner returns "").
+func NewRing(nodes []string) *Ring {
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+	}
+	sort.Strings(r.nodes)
+	for _, n := range r.nodes {
+		for v := 0; v < vnodesPerNode; v++ {
+			r.points = append(r.points, ringPoint{hash: hashPoint(n, v), node: n})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash collisions across nodes are astronomically unlikely but must
+		// still order deterministically.
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// hashPoint positions one virtual node: the first 8 bytes of
+// sha256("node|vnode"), big-endian.
+func hashPoint(node string, vnode int) uint64 {
+	sum := sha256.Sum256([]byte(node + "|" + strconv.Itoa(vnode)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// hashKey positions a key on the ring.
+func hashKey(key string) uint64 {
+	sum := sha256.Sum256([]byte("key|" + key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the node owning key: the first ring point at or after the
+// key's hash, wrapping. "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the ring's membership, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Len reports the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Moved counts how many of the given keys change owner between two rings —
+// the cluster.ring_moves accounting when membership (or reachability)
+// changes. Either ring may be nil (owning nothing).
+func Moved(from, to *Ring, keys []string) int {
+	owner := func(r *Ring, k string) string {
+		if r == nil {
+			return ""
+		}
+		return r.Owner(k)
+	}
+	n := 0
+	for _, k := range keys {
+		if owner(from, k) != owner(to, k) {
+			n++
+		}
+	}
+	return n
+}

@@ -260,6 +260,18 @@ func (p *Pipeline) ProjectComputeOpts(app *AppModel, ci int, opts ComputeOptions
 // the defects recorded when they were filled, so a served projection is
 // indistinguishable from a computed one.
 func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app *AppModel, ci int, opts ComputeOptions, rec *quality.Report) (*ComputeProjection, error) {
+	// A resumed search starts from externally supplied checkpoint genomes,
+	// which — like any seeding — can change the projected numbers, so it
+	// must neither read nor publish the clean content-addressed surrogate
+	// entries. It computes fresh and carries a GAResume defect instead.
+	if len(p.resumeSeeds) > 0 {
+		rec.Add(quality.Defect{
+			Code: quality.GAResume, Component: quality.Compute, Severity: quality.Minor,
+			Detail: fmt.Sprintf("surrogate search resumed from %d checkpoint genomes", len(p.resumeSeeds)),
+		})
+		proj, _, err := p.computeSurrogate(ctx, parent, app, ci, opts, rec, p.resumeSeeds)
+		return proj, err
+	}
 	st := p.storeFor()
 	if st == nil || opts != (ComputeOptions{}) {
 		proj, _, err := p.computeSurrogate(ctx, parent, app, ci, opts, rec, nil)
@@ -416,6 +428,12 @@ func (p *Pipeline) computeSurrogate(ctx context.Context, parent *obs.Scope, app 
 		if len(seeds) > 0 {
 			cfg.Seeds = seeds
 			cfg.StallGenerations = warmStallGenerations
+		}
+		if p.onGAProgress != nil {
+			member := e
+			cfg.OnGeneration = func(gen int, best float64, genome []float64) {
+				p.onGAProgress(member, gen, best, genome)
+			}
 		}
 		res, err := ga.Run(cfg)
 		if err != nil {

@@ -76,6 +76,12 @@ type Pipeline struct {
 	// warmStart opts the surrogate search into seeding from the store's
 	// nearest cached surrogate (see Options.WarmStart).
 	warmStart bool
+	// onGAProgress taps the surrogate search's per-generation progress
+	// (see Options.OnGAProgress).
+	onGAProgress func(member, gen int, best float64, genome []float64)
+	// resumeSeeds, when non-empty, seed the surrogate search directly —
+	// the async-job checkpoint-resume path (see Options.SurrogateSeeds).
+	resumeSeeds [][]float64
 }
 
 // storeFor returns the layer store to use right now: nil while fault
@@ -133,6 +139,22 @@ type Options struct {
 	// 0), so it is off by default and recorded in the projection's
 	// Quality report when it fires. Requires Store.
 	WarmStart bool
+	// OnGAProgress, when non-nil, observes the surrogate search: it is
+	// called once per evolved GA generation per ensemble member with the
+	// member index, generation, running best fitness, and a clone of the
+	// running best genome (safe to retain — it is the checkpoint material
+	// for resumable async jobs). Strictly passive: projections are
+	// byte-identical with the callback set or nil. Members run
+	// concurrently, so the callback must be safe for concurrent calls.
+	OnGAProgress func(member, gen int, best float64, genome []float64)
+	// SurrogateSeeds, when non-empty, seed every surrogate search's
+	// initial GA population directly — the async-job checkpoint-resume
+	// path, where a failed search restarts from its last per-generation
+	// checkpoint instead of from scratch. Like WarmStart this CAN change
+	// the projected numbers, so resumed searches bypass the Store's clean
+	// content-addressed keys and record a GAResume defect in the Quality
+	// report.
+	SurrogateSeeds [][]float64
 }
 
 // NewPipeline gathers benchmark data for a machine pair at the given job
@@ -163,14 +185,16 @@ func NewPipelineCtx(ctx context.Context, base, target *arch.Machine, rankCounts 
 		return nil, err
 	}
 	p := &Pipeline{
-		Base:      base,
-		Target:    target,
-		Workers:   opts.Workers,
-		Obs:       opts.Obs,
-		IMBBase:   map[int]*imb.Table{},
-		IMBTarget: map[int]*imb.Table{},
-		store:     opts.Store,
-		warmStart: opts.WarmStart,
+		Base:         base,
+		Target:       target,
+		Workers:      opts.Workers,
+		Obs:          opts.Obs,
+		IMBBase:      map[int]*imb.Table{},
+		IMBTarget:    map[int]*imb.Table{},
+		store:        opts.Store,
+		warmStart:    opts.WarmStart,
+		onGAProgress: opts.OnGAProgress,
+		resumeSeeds:  opts.SurrogateSeeds,
 	}
 	if opts.Data != nil {
 		// External data bypasses the store for this pipeline's whole

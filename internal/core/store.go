@@ -151,6 +151,18 @@ func (s *Store) imbTable(ctx context.Context, m *arch.Machine, count int, fill f
 	return v.(*imb.Table), nil
 }
 
+// CharacterisationFill resolves an externally keyed artifact through the
+// characterisation layer: LRU hit, singleflight join, or a leader fill
+// detached from ctx, counted on the layer's existing hit/miss counters.
+// It is the grouped-fill hook for the batch endpoint — K requests sharing
+// a (base, target) group resolve the group's shared work through one key,
+// so the per-layer counters prove the amortisation. Keys live in their own
+// "ext|" namespace and can never collide with the pipeline's spec|/imb|
+// artifacts.
+func (s *Store) CharacterisationFill(ctx context.Context, key string, fill func() (any, error)) (any, error) {
+	return s.chars.getOrFill(ctx, fmt.Sprintf("ext|%q", key), fill)
+}
+
 // ProfileArtifact is one profile-layer entry: the application's base-machine
 // MPI profile and hardware-counter observation at one core count.
 type ProfileArtifact struct {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/nas"
+	"repro/internal/spec"
 )
 
 // TestLayerSingleflightConcurrentFill proves the singleflight contract
@@ -171,6 +172,110 @@ func TestLayerKeysCollisionFree(t *testing.T) {
 			t.Errorf("keys %d and %d collide: %s", j, i, k)
 		}
 		seen[k] = i
+	}
+}
+
+// TestStoreGroupedFillConcurrentEvictionChaos hammers the grouped-fill
+// path the batch endpoint rides: many goroutines resolving overlapping
+// external group keys through CharacterisationFill while other goroutines
+// churn a tiny surrogate layer through fill + eviction (pruning the warm
+// index underneath). Under -race this proves the locking; the assertions
+// prove each group key still fills exactly once and every caller observes
+// its own group's artifact.
+func TestStoreGroupedFillConcurrentEvictionChaos(t *testing.T) {
+	s := NewStore(StoreConfig{SurrogateCap: 2})
+	const groups = 4
+	var fills [groups]atomic.Int64
+	var wg sync.WaitGroup
+	// Batch-style concurrent grouped fills: 8 goroutines × 32 lookups over
+	// 4 group keys.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				grp := (g + i) % groups
+				key := fmt.Sprintf("%q|%q", "base", fmt.Sprintf("target-%d", grp))
+				want := "group:" + key
+				v, err := s.CharacterisationFill(context.Background(), key, func() (any, error) {
+					fills[grp].Add(1)
+					time.Sleep(time.Millisecond) // widen the race window
+					return want, nil
+				})
+				if err != nil {
+					t.Errorf("CharacterisationFill(%s): %v", key, err)
+					return
+				}
+				if v != want {
+					t.Errorf("CharacterisationFill(%s) = %v, want %v", key, v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent surrogate churn: fills beyond the cap force evictions and
+	// warm-index pruning while the grouped fills run.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for ci := 1; ci <= 16; ci++ {
+				_, err := s.surrogateAt(context.Background(), "base", "app", fmt.Sprintf("tgt-%d", g), ci, false,
+					func() (*surrogateEntry, error) {
+						return &surrogateEntry{genomes: [][]float64{{float64(ci)}}}, nil
+					})
+				if err != nil {
+					t.Errorf("surrogateAt: %v", err)
+					return
+				}
+				s.NearestSurrogateSeeds("base", "app", fmt.Sprintf("tgt-%d", g), ci+1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for grp := range fills {
+		if n := fills[grp].Load(); n != 1 {
+			t.Errorf("group %d filled %d times, want 1 (amortisation broken)", grp, n)
+		}
+	}
+	chars, _, surrogates := s.Sizes()
+	if chars != groups {
+		t.Errorf("characterisation layer holds %d entries, want %d", chars, groups)
+	}
+	if surrogates > 2 {
+		t.Errorf("surrogate layer holds %d entries, cap is 2", surrogates)
+	}
+}
+
+// TestCharacterisationFillKeyNamespace proves external group keys live in
+// their own namespace: a hostile external key can never collide with the
+// pipeline's spec|/imb| artifacts, and distinct external keys stay
+// distinct.
+func TestCharacterisationFillKeyNamespace(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	m := &arch.Machine{Name: "hydra"}
+	// Seed the layer with a real spec artifact, then attack its key.
+	if _, err := s.specSuite(context.Background(), m, func() (map[string]spec.Result, error) {
+		return map[string]spec.Result{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hostile := []string{specKey(m), imbKey(m, 16), `ext|"x"`}
+	for _, key := range hostile {
+		filled := false
+		v, err := s.CharacterisationFill(context.Background(), key, func() (any, error) {
+			filled = true
+			return "external:" + key, nil
+		})
+		if err != nil {
+			t.Fatalf("CharacterisationFill(%q): %v", key, err)
+		}
+		if !filled {
+			t.Errorf("external key %q hit a pipeline artifact (namespace breached)", key)
+		}
+		if v != "external:"+key {
+			t.Errorf("external key %q returned %v", key, v)
+		}
 	}
 }
 

@@ -80,6 +80,14 @@ type Config struct {
 	// runtime.GOMAXPROCS(0), 1 selects the legacy serial path. The
 	// result is identical for every value.
 	Workers int
+	// OnGeneration, when non-nil, observes the run: it is called once per
+	// evolved generation — after the generation's children are scored —
+	// with the generation index, the running best fitness, and a clone of
+	// the running best genome (safe to retain). It is called from Run's
+	// own goroutine, strictly passive: the evolution is byte-identical
+	// with the callback set or nil. This is the progress/checkpoint tap
+	// for async job streaming and resumable searches.
+	OnGeneration func(gen int, best float64, bestGenome []float64)
 	// Obs, when non-nil, receives a "ga.run" span and the run's metrics
 	// (ga.evaluations, ga.cache_hits, ga.generations, ga.best_fitness,
 	// ga.generation_seconds). Observability never alters the evolution:
@@ -407,6 +415,9 @@ func Run(cfg Config) (*Result, error) {
 			stalled++
 		}
 		res.History = append(res.History, best.fitness)
+		if cfg.OnGeneration != nil {
+			cfg.OnGeneration(gen, best.fitness, clone(best.genome))
+		}
 		if obsOn {
 			// Per-generation stats: wall time and running best, both
 			// order-independent aggregates.

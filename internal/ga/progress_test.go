@@ -1,0 +1,92 @@
+package ga
+
+import (
+	"math"
+	"testing"
+)
+
+// TestOnGenerationPassive pins the progress tap's contract: the callback
+// fires once per evolved generation with the running best, the reported
+// fitness matches History, the delivered genome is a clone (mutating it
+// cannot corrupt the search), and the run's result is byte-identical to
+// the same configuration without the callback.
+func TestOnGenerationPassive(t *testing.T) {
+	base := Config{
+		GenomeLen: 10, MaxActive: 3,
+		PopSize: 32, Generations: 30,
+		Seed:    "progress-det",
+		Fitness: sphere([]float64{0.4, 0, 0.1, 0, 0, 0, 0.8, 0, 0, 0}),
+	}
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type obsGen struct {
+		gen    int
+		best   float64
+		genome []float64
+	}
+	var seen []obsGen
+	tapped := base
+	tapped.OnGeneration = func(gen int, best float64, genome []float64) {
+		seen = append(seen, obsGen{gen, best, genome})
+		for i := range genome {
+			genome[i] = -1 // a clone: vandalising it must not touch the run
+		}
+	}
+	res, err := Run(tapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if math.Float64bits(res.BestFitness) != math.Float64bits(ref.BestFitness) {
+		t.Errorf("best fitness with tap %v != without %v", res.BestFitness, ref.BestFitness)
+	}
+	for i := range ref.Best {
+		if math.Float64bits(res.Best[i]) != math.Float64bits(ref.Best[i]) {
+			t.Errorf("gene %d = %v with tap, %v without", i, res.Best[i], ref.Best[i])
+		}
+	}
+	if len(seen) != res.Generations {
+		t.Fatalf("callback fired %d times, ran %d generations", len(seen), res.Generations)
+	}
+	for i, o := range seen {
+		if o.gen != i {
+			t.Errorf("callback %d reported generation %d", i, o.gen)
+		}
+		// History[0] is the initial population; generation g lands at g+1.
+		if math.Float64bits(o.best) != math.Float64bits(res.History[i+1]) {
+			t.Errorf("generation %d reported best %v, History has %v", i, o.best, res.History[i+1])
+		}
+	}
+	last := seen[len(seen)-1]
+	if math.Float64bits(last.best) != math.Float64bits(res.BestFitness) {
+		t.Errorf("final callback best %v != result %v", last.best, res.BestFitness)
+	}
+}
+
+// TestOnGenerationSeesStallCutoff proves the tap observes exactly the
+// generations a stall-stopped run evolves — the per-generation snapshot
+// count a resumable job records matches Result.Generations even when
+// StallGenerations ends the run early.
+func TestOnGenerationSeesStallCutoff(t *testing.T) {
+	calls := 0
+	res, err := Run(Config{
+		GenomeLen: 8, MaxActive: 3,
+		PopSize: 16, Generations: 200,
+		Seed:             "progress-stall",
+		Fitness:          func(g []float64) float64 { return 0 }, // flat: stalls immediately
+		StallGenerations: 5,
+		OnGeneration:     func(gen int, best float64, genome []float64) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations >= 200 {
+		t.Fatalf("stall cutoff did not fire (%d generations)", res.Generations)
+	}
+	if calls != res.Generations {
+		t.Errorf("callback fired %d times, run evolved %d generations", calls, res.Generations)
+	}
+}

@@ -38,6 +38,13 @@ type Client struct {
 	// Sleep waits between attempts (default a context-aware sleep).
 	// Injectable for tests.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// breaker, when non-nil, short-circuits calls to a destination that
+	// keeps failing: while open, Do-style methods fail fast with a
+	// breakerOpenError instead of attempting the network at all, until the
+	// cooldown lets a probe through. The peer-forwarding layer arms one
+	// per peer so a dead replica degrades to local computation without
+	// paying connect timeouts on every request.
+	breaker *breaker
 }
 
 // APIError is a non-retryable (or retries-exhausted) HTTP error response.
@@ -73,12 +80,35 @@ func (c *Client) eval(ctx context.Context, path string, req APIRequest) (*report
 	return &out, nil
 }
 
-// do runs the retry loop for one POST.
+// do runs the retry loop for one JSON POST.
 func (c *Client) do(ctx context.Context, path string, req APIRequest) ([]byte, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
+	body, _, err := c.PostRaw(ctx, path, payload, nil)
+	return body, err
+}
+
+// PostRaw POSTs a pre-marshalled JSON payload and returns the successful
+// response's body and headers verbatim — the forwarding primitive: a
+// replica relaying a request to a peer must pass the peer's rendered bytes
+// through untouched to preserve byte-identity. header entries (e.g. the
+// forwarded-loop guard) are copied onto every attempt. The same retry,
+// backoff, Retry-After, and breaker machinery as the typed calls applies.
+func (c *Client) PostRaw(ctx context.Context, path string, payload []byte, header http.Header) ([]byte, http.Header, error) {
+	if c.breaker != nil {
+		if ra, ok := c.breaker.allow(); !ok {
+			return nil, nil, &breakerOpenError{retryAfter: ra}
+		}
+	}
+	body, hdr, err := c.postRawAttempts(ctx, path, payload, header)
+	c.breaker.record(err)
+	return body, hdr, err
+}
+
+// postRawAttempts is the raw retry loop, without breaker accounting.
+func (c *Client) postRawAttempts(ctx context.Context, path string, payload []byte, header http.Header) ([]byte, http.Header, error) {
 	httpc := c.HTTP
 	if httpc == nil {
 		httpc = http.DefaultClient
@@ -98,16 +128,21 @@ func (c *Client) do(ctx context.Context, path string, req APIRequest) ([]byte, e
 	for attempt := 0; ; attempt++ {
 		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		hreq.Header.Set("Content-Type", "application/json")
+		for k, vs := range header {
+			for _, v := range vs {
+				hreq.Header.Add(k, v)
+			}
+		}
 
 		resp, err := httpc.Do(hreq)
 		var retryAfter time.Duration
 		switch {
 		case err != nil:
 			if ctx.Err() != nil {
-				return nil, ctx.Err()
+				return nil, nil, ctx.Err()
 			}
 			lastErr = err
 		default:
@@ -118,11 +153,11 @@ func (c *Client) do(ctx context.Context, path string, req APIRequest) ([]byte, e
 				break
 			}
 			if resp.StatusCode == http.StatusOK {
-				return body, nil
+				return body, resp.Header, nil
 			}
 			apiErr := &APIError{Status: resp.StatusCode, Message: errorMessage(body)}
 			if !retryableStatus(resp.StatusCode) {
-				return nil, apiErr
+				return nil, nil, apiErr
 			}
 			lastErr = apiErr
 			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
@@ -130,14 +165,14 @@ func (c *Client) do(ctx context.Context, path string, req APIRequest) ([]byte, e
 			}
 		}
 		if attempt >= retries {
-			return nil, lastErr
+			return nil, nil, lastErr
 		}
 		wait := c.backoff(attempt)
 		if retryAfter > wait {
 			wait = retryAfter
 		}
 		if err := sleep(ctx, wait); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 }

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestClientBackoffSchedule pins the retry schedule deterministically:
+// identity jitter and recorded sleeps turn the backoff policy into a pure
+// table of expected waits.
+func TestClientBackoffSchedule(t *testing.T) {
+	cases := []struct {
+		name       string
+		configure  func(*Client)
+		script     []int // per-attempt response status; 0 drops the connection
+		wantErr    bool
+		wantSleeps []time.Duration
+	}{
+		{
+			name:       "exponential doubling from the default base",
+			script:     []int{0, 0, 0},
+			wantSleeps: []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond},
+		},
+		{
+			name: "cap bounds the exponent",
+			configure: func(c *Client) {
+				c.MaxRetries = 4
+				c.BaseBackoff = time.Second
+				c.MaxBackoff = 2 * time.Second
+			},
+			script:     []int{0, 0, 0, 0},
+			wantSleeps: []time.Duration{time.Second, 2 * time.Second, 2 * time.Second, 2 * time.Second},
+		},
+		{
+			name:   "Retry-After overrides a shorter computed backoff",
+			script: []int{http.StatusServiceUnavailable}, // flaky server sends Retry-After: 1
+			wantSleeps: []time.Duration{
+				time.Second, // not the 100ms the schedule would pick
+			},
+		},
+		{
+			name:       "negative MaxRetries disables retrying",
+			configure:  func(c *Client) { c.MaxRetries = -1 },
+			script:     []int{0},
+			wantErr:    true,
+			wantSleeps: []time.Duration{},
+		},
+		{
+			name:       "exhausted retries surface the last error",
+			configure:  func(c *Client) { c.MaxRetries = 2 },
+			script:     []int{0, 0, 0},
+			wantErr:    true,
+			wantSleeps: []time.Duration{100 * time.Millisecond, 200 * time.Millisecond},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts, calls := newFlakyServer(t, tc.script)
+			var slept []time.Duration
+			c := testClient(ts.URL, &slept)
+			if tc.configure != nil {
+				tc.configure(c)
+			}
+			_, err := c.Project(context.Background(), clientReq)
+			if tc.wantErr != (err != nil) {
+				t.Fatalf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+			if len(slept) != len(tc.wantSleeps) {
+				t.Fatalf("slept %v (%d times), want %d", slept, len(slept), len(tc.wantSleeps))
+			}
+			for i, want := range tc.wantSleeps {
+				if slept[i] != want {
+					t.Errorf("sleep %d = %v, want %v", i, slept[i], want)
+				}
+			}
+			wantCalls := int64(len(tc.script))
+			if !tc.wantErr {
+				wantCalls++ // the final, successful attempt
+			}
+			if calls.Load() != wantCalls {
+				t.Errorf("server saw %d attempts, want %d", calls.Load(), wantCalls)
+			}
+		})
+	}
+}
+
+// TestClientSeededJitterBounds proves an injected seeded jitter flows
+// through unchanged and that the default (nil Jitter) equal-jitter policy
+// stays inside [d/2, d] — the backoff never collapses to zero and never
+// overshoots its schedule.
+func TestClientSeededJitterBounds(t *testing.T) {
+	// Two clients with the same seed produce the same schedule.
+	runOnce := func() []time.Duration {
+		r := rand.New(rand.NewSource(7))
+		c := &Client{BaseBackoff: 100 * time.Millisecond, Jitter: func(d time.Duration) time.Duration {
+			return d/2 + time.Duration(r.Int63n(int64(d/2)+1))
+		}}
+		out := make([]time.Duration, 4)
+		for i := range out {
+			out[i] = c.backoff(i)
+		}
+		return out
+	}
+	first, second := runOnce(), runOnce()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("seeded jitter not reproducible: attempt %d gave %v then %v", i, first[i], second[i])
+		}
+	}
+	// Default jitter bounds.
+	c := &Client{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 5 * time.Second}
+	for attempt := 0; attempt < 8; attempt++ {
+		full := 100 * time.Millisecond << uint(attempt)
+		if full > 5*time.Second || full <= 0 {
+			full = 5 * time.Second
+		}
+		for i := 0; i < 32; i++ {
+			got := c.backoff(attempt)
+			if got < full/2 || got > full {
+				t.Fatalf("attempt %d: default jitter gave %v, outside [%v, %v]", attempt, got, full/2, full)
+			}
+		}
+	}
+}
+
+// TestClientBreakerOpenShortCircuit proves a client-side breaker fails
+// fast: after the threshold of failures the next call never reaches the
+// network, and once the cooldown passes a half-open probe restores
+// service.
+func TestClientBreakerOpenShortCircuit(t *testing.T) {
+	ts, calls := newFlakyServer(t, []int{http.StatusInternalServerError})
+	var slept []time.Duration
+	c := testClient(ts.URL, &slept)
+	now := time.Now()
+	c.breaker = newBreaker(1, 10*time.Second, func() time.Time { return now })
+
+	// 500 is non-retryable: one attempt, one recorded failure, breaker
+	// trips at threshold 1.
+	if _, err := c.Project(context.Background(), clientReq); err == nil {
+		t.Fatal("500 did not surface")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d attempts, want 1", calls.Load())
+	}
+
+	// While open: short-circuit with a retry hint, zero network attempts.
+	var boe *breakerOpenError
+	if _, err := c.Project(context.Background(), clientReq); !errors.As(err, &boe) {
+		t.Fatalf("open breaker returned %v, want breakerOpenError", err)
+	} else if boe.retryAfter <= 0 {
+		t.Errorf("breakerOpenError carries no retry hint: %v", boe.retryAfter)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("open breaker still hit the network (%d attempts)", calls.Load())
+	}
+
+	// After the cooldown the probe goes through; the script is exhausted
+	// so the server now answers properly and the breaker closes.
+	now = now.Add(11 * time.Second)
+	if _, err := c.Project(context.Background(), clientReq); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if _, err := c.Project(context.Background(), clientReq); err != nil {
+		t.Fatalf("closed breaker rejected a call: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d attempts, want 3", calls.Load())
+	}
+}

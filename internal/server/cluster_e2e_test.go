@@ -1,0 +1,323 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// testClock is a real clock with an adjustable forward offset, so tests can
+// age peer breakers past their cooldown without sleeping.
+type testClock struct{ offset atomic.Int64 }
+
+func (c *testClock) now() time.Time { return time.Now().Add(time.Duration(c.offset.Load())) }
+
+func (c *testClock) advance(d time.Duration) { c.offset.Add(int64(d)) }
+
+// clusterReplica is one in-process peer-aware replica: a real Server wired
+// to real peers over loopback HTTP, plus a kill switch that drops every
+// connection at the transport — the failure mode a crashed replica
+// presents to the survivors.
+type clusterReplica struct {
+	url   string
+	srv   *Server
+	eval  *groupedEval
+	scope *obs.Scope
+
+	killed  atomic.Bool
+	handler atomic.Value // http.Handler
+}
+
+func (c *clusterReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if c.killed.Load() {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test listener not hijackable")
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			panic(err)
+		}
+		conn.Close()
+		return
+	}
+	c.handler.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// newCluster starts n peer-wired replicas. Listeners come up first (their
+// URLs are the ring's node names), then each Server is built knowing the
+// full membership.
+func newCluster(t *testing.T, n int) ([]*clusterReplica, *testClock) {
+	t.Helper()
+	clock := &testClock{}
+	reps := make([]*clusterReplica, n)
+	urls := make([]string, n)
+	for i := range reps {
+		reps[i] = &clusterReplica{}
+		ts := httptest.NewServer(reps[i])
+		t.Cleanup(ts.Close)
+		reps[i].url = ts.URL
+		urls[i] = ts.URL
+	}
+	for i, rep := range reps {
+		peers := make([]string, 0, n-1)
+		for k, u := range urls {
+			if k != i {
+				peers = append(peers, u)
+			}
+		}
+		rep.eval = &groupedEval{}
+		rep.scope = obs.New("test")
+		rep.srv = New(Config{Workers: 4, Obs: rep.scope, Eval: rep.eval.fn,
+			Self: rep.url, Peers: peers, nowFn: clock.now})
+		rep.handler.Store(rep.srv.Handler())
+	}
+	return reps, clock
+}
+
+// owner resolves which replica URL owns a request body's group, the same
+// way every replica does.
+func ownerOf(t *testing.T, reps []*clusterReplica, body string) string {
+	t.Helper()
+	var api APIRequest
+	if err := json.Unmarshal([]byte(body), &api); err != nil {
+		t.Fatal(err)
+	}
+	req, err := evalRequest(api)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, len(reps))
+	for i, r := range reps {
+		urls[i] = r.url
+	}
+	return cluster.NewRing(urls).Owner(cluster.GroupKey(req.Base, req.Target))
+}
+
+// counter reads one obs counter, defaulting to 0.
+func counter(scope *obs.Scope, name string) int64 {
+	v, _ := scope.Metrics().Counter(name)
+	return v
+}
+
+// TestClusterRoutingDeterminism proves every replica resolves the same
+// owner for every group: a request lands on the owner's evaluator no
+// matter which replica receives it, responses are byte-identical from
+// every entry point, and the X-Swapp-Peer header names the owner exactly
+// when the receiver forwarded.
+func TestClusterRoutingDeterminism(t *testing.T) {
+	reps, _ := newCluster(t, 3)
+	requests := []string{
+		`{"target":"power6-575","bench":"BT-MZ","class":"C","ranks":16}`,
+		`{"target":"bgp","bench":"SP-MZ","class":"C","ranks":16}`,
+		`{"target":"westmere-x5670","bench":"LU-MZ","class":"C","ranks":16}`,
+		`{"base":"bgp","target":"hydra","bench":"BT-MZ","class":"C","ranks":16}`,
+	}
+	for _, body := range requests {
+		owner := ownerOf(t, reps, body)
+		var reference []byte
+		for i, rep := range reps {
+			code, hdr, out := post(t, rep.url+"/v1/project", body)
+			if code != 200 {
+				t.Fatalf("replica %d: status %d: %s", i, code, out)
+			}
+			if reference == nil {
+				reference = out
+			} else if !bytes.Equal(out, reference) {
+				t.Errorf("replica %d served different bytes for %s", i, body)
+			}
+			peer := hdr.Get(peerHeader)
+			if rep.url == owner && peer != "" {
+				t.Errorf("owner replica %d forwarded to %q", i, peer)
+			}
+			if rep.url != owner && peer != owner {
+				t.Errorf("replica %d: X-Swapp-Peer = %q, want owner %q", i, peer, owner)
+			}
+		}
+	}
+	// Every evaluation ran on exactly one replica: distinct requests ==
+	// total evaluations across the cluster.
+	var total int64
+	for _, rep := range reps {
+		total += rep.eval.calls.Load()
+	}
+	if total != int64(len(requests)) {
+		t.Errorf("cluster ran %d evaluations for %d distinct requests", total, len(requests))
+	}
+	// And the memberships agree.
+	want := fmt.Sprint(reps[0].srv.Peers())
+	for i, rep := range reps[1:] {
+		if fmt.Sprint(rep.srv.Peers()) != want {
+			t.Errorf("replica %d sees membership %v, replica 0 sees %v", i+1, rep.srv.Peers(), want)
+		}
+	}
+}
+
+// TestClusterPeerCacheFill proves forwarding fills the owner's cache for
+// everyone: the second forward of one request is a peer cache hit,
+// surfaced through X-Cache and the cluster.peer_hits counter.
+func TestClusterPeerCacheFill(t *testing.T) {
+	reps, _ := newCluster(t, 3)
+	body := `{"target":"power6-575","bench":"BT-MZ","class":"C","ranks":16}`
+	owner := ownerOf(t, reps, body)
+	var sender *clusterReplica
+	for _, rep := range reps {
+		if rep.url != owner {
+			sender = rep
+			break
+		}
+	}
+	_, hdr1, _ := post(t, sender.url+"/v1/project", body)
+	_, hdr2, _ := post(t, sender.url+"/v1/project", body)
+	if hdr1.Get("X-Cache") != "miss" || hdr2.Get("X-Cache") != "hit" {
+		t.Errorf("forwarded X-Cache = %q then %q, want miss then hit", hdr1.Get("X-Cache"), hdr2.Get("X-Cache"))
+	}
+	if n := counter(sender.scope, "cluster.forwards"); n != 2 {
+		t.Errorf("cluster.forwards = %d, want 2", n)
+	}
+	if n := counter(sender.scope, "cluster.peer_hits"); n != 1 {
+		t.Errorf("cluster.peer_hits = %d, want 1", n)
+	}
+}
+
+// TestClusterForwardedRequestNotBounced proves the loop guard: a request
+// already carrying the forwarded header is computed where it lands, even
+// when its group's owner is elsewhere — no multi-hop routing, no cycles.
+func TestClusterForwardedRequestNotBounced(t *testing.T) {
+	reps, _ := newCluster(t, 3)
+	body := `{"target":"power6-575","bench":"BT-MZ","class":"C","ranks":16}`
+	owner := ownerOf(t, reps, body)
+	var nonOwner *clusterReplica
+	for _, rep := range reps {
+		if rep.url != owner {
+			nonOwner = rep
+			break
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, nonOwner.url+"/v1/project", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, "test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("forwarded request status = %d", resp.StatusCode)
+	}
+	if p := resp.Header.Get(peerHeader); p != "" {
+		t.Errorf("forwarded request was re-forwarded to %q", p)
+	}
+	if n := nonOwner.eval.calls.Load(); n != 1 {
+		t.Errorf("non-owner ran %d evaluations for a forwarded request, want 1", n)
+	}
+}
+
+// TestClusterBatchFaultInjectionFailover is the kill-one-mid-batch
+// satellite: three replicas serve a batch spanning groups owned across the
+// cluster; then one replica dies at the transport and the same workload —
+// resubmitted to a survivor — completes with every projection
+// byte-identical to a single-process run. The dead peer costs fallbacks
+// and ring movement, never correctness.
+func TestClusterBatchFaultInjectionFailover(t *testing.T) {
+	reps, clock := newCluster(t, 3)
+	// A single-process control server for byte-identity.
+	ctl := New(Config{Workers: 4, Eval: (&groupedEval{}).fn})
+	ctlTS := newHTTPServer(t, ctl)
+
+	bodies := []string{
+		`{"target":"power6-575","bench":"BT-MZ","class":"C","ranks":16}`,
+		`{"target":"bgp","bench":"BT-MZ","class":"C","ranks":16}`,
+		`{"target":"westmere-x5670","bench":"BT-MZ","class":"C","ranks":16}`,
+		`{"base":"bgp","target":"hydra","bench":"SP-MZ","class":"C","ranks":16}`,
+		`{"base":"power6-575","target":"bgp","bench":"LU-MZ","class":"C","ranks":16}`,
+	}
+	// Receiver: replica 0. Victim: the owner of some group that is not the
+	// receiver, so its groups genuinely needed forwarding.
+	receiver := reps[0]
+	var victim *clusterReplica
+	for _, body := range bodies {
+		if owner := ownerOf(t, reps, body); owner != receiver.url {
+			for _, rep := range reps {
+				if rep.url == owner {
+					victim = rep
+				}
+			}
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no group hashed off the receiver; add targets")
+	}
+
+	// Healthy pass: the batch spreads across the ring.
+	code, _, out := post(t, receiver.url+"/v1/batch", batchBody(t, bodies...))
+	if code != 200 {
+		t.Fatalf("healthy batch status = %d: %s", code, out)
+	}
+	for i, e := range decodeBatch(t, out).Results {
+		if e.Status != 200 {
+			t.Fatalf("healthy batch entry %d failed: %d %s", i, e.Status, e.Error)
+		}
+	}
+	if counter(receiver.scope, "cluster.forwards") == 0 {
+		t.Error("healthy batch forwarded nothing; victim selection is wrong")
+	}
+
+	// Kill the victim and resubmit: every group it owned degrades to local
+	// computation on the receiver.
+	victim.killed.Store(true)
+	code, _, out = post(t, receiver.url+"/v1/batch", batchBody(t, bodies...))
+	if code != 200 {
+		t.Fatalf("post-kill batch status = %d: %s", code, out)
+	}
+	resp := decodeBatch(t, out)
+	for i, e := range resp.Results {
+		if e.Status != 200 {
+			t.Fatalf("post-kill batch entry %d failed: %d %s", i, e.Status, e.Error)
+		}
+		_, _, individual := post(t, ctlTS.URL+"/v1/project", bodies[i])
+		if want := bytes.TrimSuffix(individual, []byte("\n")); !bytes.Equal(e.Body, want) {
+			t.Errorf("entry %d differs from the single-process run:\ncluster: %s\nsingle:  %s", i, e.Body, want)
+		}
+	}
+	if counter(receiver.scope, "cluster.fallbacks") == 0 {
+		t.Error("dead peer produced no fallbacks")
+	}
+	if counter(receiver.scope, "cluster.ring_moves") == 0 {
+		t.Error("losing a replica moved no tracked groups on the reachable ring")
+	}
+
+	// Rejoin: the next forward to the recovered replica succeeds again and
+	// the reachable ring heals (another movement count). Ageing the clock
+	// past the peer breaker's cooldown lets its half-open probe through.
+	victim.killed.Store(false)
+	clock.advance(time.Minute)
+	moves := counter(receiver.scope, "cluster.ring_moves")
+	code, _, out = post(t, receiver.url+"/v1/batch", batchBody(t, bodies...))
+	if code != 200 {
+		t.Fatalf("post-rejoin batch status = %d: %s", code, out)
+	}
+	for i, e := range decodeBatch(t, out).Results {
+		if e.Status != 200 {
+			t.Fatalf("post-rejoin batch entry %d failed: %d %s", i, e.Status, e.Error)
+		}
+	}
+	if counter(receiver.scope, "cluster.ring_moves") <= moves {
+		t.Error("rejoin did not heal the reachable ring")
+	}
+}

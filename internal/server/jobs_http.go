@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	swapp "repro"
+	"repro/internal/cluster"
+)
+
+// jobRequest is the POST /v1/jobs body: an operation name plus the usual
+// evaluation request.
+type jobRequest struct {
+	// Op selects the endpoint semantics: "project" (default), "validate",
+	// or "surrogate".
+	Op      string     `json:"op,omitempty"`
+	Request APIRequest `json:"request"`
+}
+
+// handleJobSubmit serves POST /v1/jobs: validate the embedded request,
+// enqueue it on the job manager, and answer 202 with the job's status
+// document. The evaluation runs in the background with per-generation GA
+// progress recorded as snapshots; a failed or panicked attempt resumes
+// from the newest per-member checkpoint genomes.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.obs.Count("server.requests", 1)
+	s.obs.Count("server.requests./v1/jobs", 1)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("/v1/jobs requires POST"))
+		return
+	}
+	var jreq jobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jreq); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job request: %w", err))
+		return
+	}
+	op := jreq.Op
+	if op == "" {
+		op = "project"
+	}
+	spec, ok := endpoints[op]
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown op %q", jreq.Op))
+		return
+	}
+	req, err := evalRequest(jreq.Request)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.jobs.Submit(op, s.jobRun(spec, req))
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(job.Status())
+}
+
+// jobRun builds the background attempt function for one submitted job:
+// each attempt takes a worker slot (jobs share the admission pool with
+// synchronous requests), runs the evaluation with the GA progress tap
+// wired to the job's snapshot stream, and — on resume attempts — seeds
+// the surrogate search from the checkpoint genomes. Job results bypass
+// the result LRU: a resumed search is not byte-comparable with a cold
+// one, so its document must never shadow the deterministic cache.
+func (s *Server) jobRun(spec endpointSpec, req swapp.Request) cluster.RunFunc {
+	return func(ctx context.Context, seeds [][]float64, progress func(cluster.Snapshot)) ([]byte, error) {
+		if err := s.admit(ctx); err != nil {
+			return nil, err
+		}
+		defer func() { <-s.sem }()
+		s.obs.Gauge("server.inflight", float64(s.inflight.Add(1)))
+		defer func() { s.obs.Gauge("server.inflight", float64(s.inflight.Add(-1))) }()
+		evalReq := req
+		evalReq.Workers = s.cfg.EvalWorkers
+		evalReq.StageTimeout = s.cfg.StageTimeout
+		evalReq.Store = s.store
+		evalReq.WarmStart = s.cfg.WarmStart
+		evalReq.ResumeSeeds = seeds
+		evalReq.OnGAProgress = func(member, gen int, best float64, genome []float64) {
+			progress(cluster.Snapshot{Member: member, Generation: gen, BestFitness: best, Best: genome})
+		}
+		res, err := s.runEval(ctx, spec.op, evalReq)
+		if err != nil {
+			return nil, err
+		}
+		return spec.render(res)
+	}
+}
+
+// handleJob serves the per-job GETs:
+//
+//	GET /v1/jobs/{id}         status document
+//	GET /v1/jobs/{id}/events  Server-Sent Events progress stream
+//	GET /v1/jobs/{id}/result  the finished document, verbatim
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.obs.Count("server.requests", 1)
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("job endpoints require GET"))
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	job, err := s.jobs.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	switch sub {
+	case "":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		_ = enc.Encode(job.Status())
+	case "events":
+		s.serveJobEvents(w, r, job)
+	case "result":
+		out, ok := job.Result()
+		if !ok {
+			st := job.Status()
+			if st.State == cluster.JobFailed {
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("job %s failed: %s", id, st.Error))
+				return
+			}
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("job %s is %s", id, st.State))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(out)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job endpoint %q", sub))
+	}
+}
+
+// serveJobEvents streams a job's progress as Server-Sent Events: the
+// retained history replays first, then live snapshots, then exactly one
+// "done" event closes the stream. Each event is one `data:` line holding
+// the cluster.Event JSON.
+func (s *Server) serveJobEvents(w http.ResponseWriter, r *http.Request, job *cluster.Job) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	events, cancel := job.Subscribe()
+	defer cancel()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, b)
+			flusher.Flush()
+			if ev.Type == "done" {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	swapp "repro"
+	"repro/internal/cluster"
+)
+
+// submitJob POSTs one job and returns its decoded status document.
+func submitJob(t *testing.T, url, body string) cluster.JobStatus {
+	t.Helper()
+	code, _, out := post(t, url+"/v1/jobs", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("job submit status = %d: %s", code, out)
+	}
+	var st cluster.JobStatus
+	if err := json.Unmarshal(out, &st); err != nil {
+		t.Fatalf("decoding job status: %v\n%s", err, out)
+	}
+	if st.ID == "" || st.State == "" {
+		t.Fatalf("job status missing id/state: %s", out)
+	}
+	return st
+}
+
+// jobStatus GETs one job's status document.
+func jobStatus(t *testing.T, url, id string) cluster.JobStatus {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st cluster.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding job status: %v", err)
+	}
+	return st
+}
+
+// waitJobDone polls a job until it leaves the queued/running states.
+func waitJobDone(t *testing.T, url, id string) cluster.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := jobStatus(t, url, id)
+		if st.State == cluster.JobDone || st.State == cluster.JobFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 10s", id, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestJobsSubmitProgressSSEResult is the async round-trip: submit a
+// projection job whose evaluation reports per-generation GA progress, watch
+// the SSE stream replay and finish with exactly one done event, then fetch
+// the result document and find it byte-identical to the synchronous
+// endpoint's body.
+func TestJobsSubmitProgressSSEResult(t *testing.T) {
+	const gens = 4
+	eval := func(ctx context.Context, op string, req swapp.Request) (*swapp.Result, error) {
+		for g := 0; g < gens; g++ {
+			if req.OnGAProgress != nil {
+				req.OnGAProgress(0, g, float64(10-g), []float64{float64(g), 1})
+			}
+		}
+		return stubResult(req), nil
+	}
+	s := New(Config{Workers: 2, Eval: eval})
+	ts := newHTTPServer(t, s)
+
+	st := submitJob(t, ts.URL, `{"request":`+reqBT+`}`)
+	final := waitJobDone(t, ts.URL, st.ID)
+	if final.State != cluster.JobDone {
+		t.Fatalf("job state = %s (%s), want done", final.State, final.Error)
+	}
+	if final.Snapshots != gens || len(final.Progress) != gens {
+		t.Errorf("job recorded %d snapshots (%d retained), want %d", final.Snapshots, len(final.Progress), gens)
+	}
+	for g, snap := range final.Progress {
+		if snap.Member != 0 || snap.Generation != g || snap.BestFitness != float64(10-g) {
+			t.Errorf("snapshot %d = %+v", g, snap)
+		}
+	}
+	if final.Attempts != 1 || final.Resumed {
+		t.Errorf("clean job reports attempts=%d resumed=%v", final.Attempts, final.Resumed)
+	}
+
+	// SSE on a finished job: history replay then one done event.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	var progress, done int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev cluster.Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		switch ev.Type {
+		case "progress":
+			progress++
+			if ev.Snapshot == nil {
+				t.Error("progress event without snapshot")
+			}
+		case "done":
+			done++
+			if ev.State != cluster.JobDone {
+				t.Errorf("done event state = %s", ev.State)
+			}
+		}
+	}
+	if progress != gens || done != 1 {
+		t.Errorf("SSE stream had %d progress + %d done events, want %d + 1", progress, done, gens)
+	}
+
+	// The result document is the endpoint's body, verbatim.
+	_, _, want := post(t, ts.URL+"/v1/project", reqBT)
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got bytes.Buffer
+	if _, err := got.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("job result (status %d) differs from the synchronous endpoint:\njob:  %s\nsync: %s",
+			resp.StatusCode, got.Bytes(), want)
+	}
+}
+
+// TestJobPanicCheckpointResume is the resilience satellite: the first
+// attempt reports checkpoints then panics mid-search; the manager resumes
+// the job with those genomes as the surrogate seeds and the second attempt
+// completes. The job finishes done, marked resumed, with the worker panic
+// contained.
+func TestJobPanicCheckpointResume(t *testing.T) {
+	var attempts atomic.Int64
+	var gotSeeds atomic.Value // [][]float64 seen by the resume attempt
+	eval := func(ctx context.Context, op string, req swapp.Request) (*swapp.Result, error) {
+		switch attempts.Add(1) {
+		case 1:
+			if len(req.ResumeSeeds) != 0 {
+				t.Errorf("first attempt carried %d resume seeds", len(req.ResumeSeeds))
+			}
+			req.OnGAProgress(1, 0, 9, []float64{1, 0})
+			req.OnGAProgress(0, 0, 8, []float64{0, 0})
+			req.OnGAProgress(0, 1, 7, []float64{0, 7})
+			panic("injected worker fault")
+		default:
+			gotSeeds.Store(req.ResumeSeeds)
+			return stubResult(req), nil
+		}
+	}
+	s := New(Config{Workers: 2, Eval: eval})
+	ts := newHTTPServer(t, s)
+
+	st := submitJob(t, ts.URL, `{"op":"project","request":`+reqBT+`}`)
+	final := waitJobDone(t, ts.URL, st.ID)
+	if final.State != cluster.JobDone {
+		t.Fatalf("job state = %s (%s), want done after resume", final.State, final.Error)
+	}
+	if final.Attempts != 2 || !final.Resumed {
+		t.Errorf("job reports attempts=%d resumed=%v, want 2/true", final.Attempts, final.Resumed)
+	}
+	seeds, _ := gotSeeds.Load().([][]float64)
+	want := [][]float64{{0, 7}, {1, 0}} // newest genome per member, member order
+	if fmt.Sprint(seeds) != fmt.Sprint(want) {
+		t.Errorf("resume attempt seeded with %v, want %v", seeds, want)
+	}
+	if attempts.Load() != 2 {
+		t.Errorf("evaluation ran %d times, want 2", attempts.Load())
+	}
+	// The resumed result is served, and the deterministic result cache was
+	// never polluted by the job path.
+	if code, err := httpGet(ts.URL + "/v1/jobs/" + st.ID + "/result"); err != nil || code != 200 {
+		t.Errorf("result fetch = %d, %v", code, err)
+	}
+	if n := s.CacheLen(); n != 0 {
+		t.Errorf("job execution left %d entries in the synchronous result cache", n)
+	}
+}
+
+// TestJobsAPIValidation covers the edges: bad ops and bodies are rejected
+// up front, unknown jobs 404, and a result is not servable before it
+// exists.
+func TestJobsAPIValidation(t *testing.T) {
+	gate := make(chan struct{})
+	eval := func(ctx context.Context, op string, req swapp.Request) (*swapp.Result, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return stubResult(req), nil
+	}
+	s := New(Config{Workers: 2, Eval: eval})
+	ts := newHTTPServer(t, s)
+	defer close(gate)
+
+	if code, _, _ := post(t, ts.URL+"/v1/jobs", `{"op":"teleport","request":`+reqBT+`}`); code != 400 {
+		t.Errorf("unknown op accepted with %d", code)
+	}
+	if code, _, _ := post(t, ts.URL+"/v1/jobs", `{"request":{"target":"power6-575","bench":"BT-MZ","class":"CD","ranks":16}}`); code != 400 {
+		t.Errorf("bad class accepted with %d", code)
+	}
+	if code, err := httpGet(ts.URL + "/v1/jobs/job-999"); err != nil || code != 404 {
+		t.Errorf("unknown job = %d, %v", code, err)
+	}
+	st := submitJob(t, ts.URL, `{"request":`+reqBT+`}`)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("unfinished result = %d (Retry-After %q), want 503 with a hint",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if code, err := httpGet(ts.URL + "/v1/jobs/" + st.ID + "/confetti"); err != nil || code != 404 {
+		t.Errorf("unknown sub-resource = %d, %v", code, err)
+	}
+}
+
+// TestJobsQueueFullRejects proves the jobs API has the same explicit
+// overload behaviour as the synchronous path: submissions beyond the
+// active+queued budget answer 503 with Retry-After.
+func TestJobsQueueFullRejects(t *testing.T) {
+	gate := make(chan struct{})
+	eval := func(ctx context.Context, op string, req swapp.Request) (*swapp.Result, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return stubResult(req), nil
+	}
+	s := New(Config{Workers: 4, Eval: eval, JobsMaxActive: 1, JobsMaxQueued: 1})
+	ts := newHTTPServer(t, s)
+	defer close(gate)
+
+	submitJob(t, ts.URL, `{"request":`+reqBT+`}`)
+	submitJob(t, ts.URL, `{"request":`+reqBT+`}`)
+	code, hdr, _ := post(t, ts.URL+"/v1/jobs", `{"request":`+reqBT+`}`)
+	if code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Errorf("over-budget submit = %d (Retry-After %q), want 503 with a hint", code, hdr.Get("Retry-After"))
+	}
+}

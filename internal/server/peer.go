@@ -1,0 +1,197 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	swapp "repro"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// forwardedHeader marks a request relayed by a peer replica. Its presence
+// is the loop guard: a forwarded request is always computed locally, never
+// re-forwarded, so a stale or disagreeing ring cannot bounce a request
+// around the cluster.
+const forwardedHeader = "X-Swapp-Forwarded"
+
+// peerHeader, on a response, names the replica that actually computed it.
+const peerHeader = "X-Swapp-Peer"
+
+// maxTrackedGroups bounds the group keys retained for ring-movement
+// accounting. Tracking is metrics-only; beyond the bound new groups are
+// simply not counted in cluster.ring_moves.
+const maxTrackedGroups = 4096
+
+// peerSet is a replica's view of the cluster: the deterministic full ring
+// every replica computes identically (routing preference), one breaker-
+// guarded client per peer (failure isolation), and the reachability
+// bookkeeping behind the cluster.* counters.
+//
+// Ownership is a preference, not a correctness requirement: when a group's
+// owner is unreachable the request degrades to local computation — every
+// projection is a pure function of its request, so the bytes are identical
+// wherever they are computed. The owner's value is concentration: its
+// layered store fills once per group and serves every forwarded request
+// (the peer cache fill).
+type peerSet struct {
+	self string
+	obs  *obs.Scope
+	full *cluster.Ring // over the whole configured membership, self included
+
+	mu        sync.Mutex
+	clients   map[string]*peerClient
+	reachable *cluster.Ring   // over self + peers currently believed up
+	tracked   map[string]bool // group keys seen, for ring_moves accounting
+	keys      []string
+}
+
+// peerClient is the forwarding path to one peer, with its own breaker: a
+// dead peer fails fast after a few attempts instead of charging connect
+// timeouts to every request routed its way.
+type peerClient struct {
+	addr   string
+	client *Client
+	down   bool
+}
+
+// newPeerSet wires clients for every peer address except self. nowFn is the
+// breaker clock (injectable in tests).
+func newPeerSet(self string, peers []string, scope *obs.Scope, nowFn func() time.Time) *peerSet {
+	p := &peerSet{
+		self:    self,
+		obs:     scope,
+		full:    cluster.NewRing(append(append([]string(nil), peers...), self)),
+		clients: map[string]*peerClient{},
+		tracked: map[string]bool{},
+	}
+	for _, addr := range p.full.Nodes() {
+		if addr == self {
+			continue
+		}
+		p.clients[addr] = &peerClient{
+			addr: addr,
+			client: &Client{
+				BaseURL: addr,
+				// Forwarding must degrade to local computation quickly: one
+				// retry with short backoff, then the caller falls back.
+				MaxRetries:  1,
+				BaseBackoff: 50 * time.Millisecond,
+				MaxBackoff:  500 * time.Millisecond,
+				breaker:     newBreaker(3, 5*time.Second, nowFn),
+			},
+		}
+	}
+	p.reachable = p.full
+	return p
+}
+
+// route resolves a group key: the owning address from the full ring, and
+// the peer client to forward through — nil when the key is owned locally
+// (or the membership is degenerate) and the caller should compute here.
+func (p *peerSet) route(groupKey string) (owner string, pc *peerClient) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.tracked[groupKey] && len(p.keys) < maxTrackedGroups {
+		p.tracked[groupKey] = true
+		p.keys = append(p.keys, groupKey)
+	}
+	owner = p.full.Owner(groupKey)
+	if owner == "" || owner == p.self {
+		return owner, nil
+	}
+	return owner, p.clients[owner]
+}
+
+// observe records a forwarding outcome for reachability accounting. An
+// up↔down transition rebuilds the reachable ring and counts how many
+// tracked group keys changed owner under it (cluster.ring_moves) — the
+// fraction of the keyspace whose cache locality the transition disturbed.
+// Context cancellations say nothing about the peer and are ignored.
+func (p *peerSet) observe(addr string, err error) {
+	if err != nil && (err == context.Canceled || err == context.DeadlineExceeded) {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pc := p.clients[addr]
+	if pc == nil {
+		return
+	}
+	down := err != nil
+	if pc.down == down {
+		return
+	}
+	pc.down = down
+	up := []string{p.self}
+	for a, c := range p.clients {
+		if !c.down {
+			up = append(up, a)
+		}
+	}
+	next := cluster.NewRing(up)
+	if moved := cluster.Moved(p.reachable, next, p.keys); moved > 0 {
+		p.obs.Count("cluster.ring_moves", int64(moved))
+	}
+	p.reachable = next
+}
+
+// timeoutFor resolves one request's evaluation deadline from its body,
+// applying the server default and maximum.
+func (s *Server) timeoutFor(body APIRequest) time.Duration {
+	timeout := s.cfg.DefaultTimeout
+	if body.TimeoutMS > 0 {
+		timeout = time.Duration(body.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return timeout
+}
+
+// forwardEval relays one single-request evaluation to its group's owner,
+// writing the peer's bytes verbatim. It reports whether the response was
+// served; on any forwarding failure it counts a fallback and returns false
+// so the caller computes locally — a dead peer degrades, never errors.
+func (s *Server) forwardEval(w http.ResponseWriter, r *http.Request, endpoint string, body APIRequest, req swapp.Request) bool {
+	owner, pc := s.peers.route(cluster.GroupKey(req.Base, req.Target))
+	if pc == nil {
+		return false
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(body))
+	defer cancel()
+	out, respHdr, err := pc.client.PostRaw(ctx, endpoint, payload, http.Header{forwardedHeader: []string{s.cfg.Self}})
+	s.peers.observe(owner, err)
+	if err != nil {
+		s.obs.Count("cluster.fallbacks", 1)
+		return false
+	}
+	s.obs.Count("cluster.forwards", 1)
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set(peerHeader, owner)
+	if xc := respHdr.Get("X-Cache"); xc != "" {
+		if xc == "hit" {
+			s.obs.Count("cluster.peer_hits", 1)
+		}
+		h.Set("X-Cache", xc)
+	}
+	_, _ = w.Write(out)
+	return true
+}
+
+// Peers reports the configured cluster membership (empty when peer-aware
+// mode is off) — diagnostics and tests.
+func (s *Server) Peers() []string {
+	if s.peers == nil {
+		return nil
+	}
+	return s.peers.full.Nodes()
+}

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	swapp "repro"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/nas"
@@ -123,6 +124,24 @@ type Config struct {
 	// BreakerCooldown is how long a tripped breaker rejects with 503
 	// before letting a single probe through (default 10s).
 	BreakerCooldown time.Duration
+	// Self is this replica's advertised base URL (e.g.
+	// "http://127.0.0.1:8080") and Peers the other replicas' base URLs.
+	// When both are set the server runs peer-aware: a consistent-hash ring
+	// over the full membership assigns each (base, target) group an owning
+	// replica, and requests whose group hashes elsewhere are forwarded
+	// there — concentrating each group's layered-store fills on one
+	// replica — falling back to local computation when the owner is
+	// unreachable. Forwarded requests carry X-Swapp-Forwarded and are
+	// always computed locally (no multi-hop routing).
+	Self  string
+	Peers []string
+	// JobsMaxActive / JobsMaxQueued / JobsMaxResumes / JobsTimeout
+	// parameterise the async jobs API (zero values take the
+	// cluster.ManagerConfig defaults).
+	JobsMaxActive  int
+	JobsMaxQueued  int
+	JobsMaxResumes int
+	JobsTimeout    time.Duration
 	// Eval overrides the evaluation function (tests).
 	Eval EvalFunc
 	// nowFn overrides the breaker's clock (tests).
@@ -135,8 +154,10 @@ type Server struct {
 	obs     *obs.Scope
 	eval    EvalFunc
 	cache   *cache
-	store   *core.Store // shared layered artifact cache; nil when disabled
-	breaker *breaker    // nil when disabled
+	store   *core.Store      // shared layered artifact cache; nil when disabled
+	breaker *breaker         // nil when disabled
+	peers   *peerSet         // nil when peer-aware mode is off
+	jobs    *cluster.Manager // async jobs API
 
 	sem      chan struct{} // worker slots
 	queued   atomic.Int64  // arrivals between admission and a slot
@@ -186,8 +207,23 @@ func New(cfg Config) *Server {
 	if cfg.BreakerThreshold > 0 {
 		s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.nowFn)
 	}
+	if cfg.Self != "" && len(cfg.Peers) > 0 {
+		s.peers = newPeerSet(cfg.Self, cfg.Peers, cfg.Obs, cfg.nowFn)
+	}
+	s.jobs = cluster.NewManager(cluster.ManagerConfig{
+		MaxActive:  cfg.JobsMaxActive,
+		MaxQueued:  cfg.JobsMaxQueued,
+		MaxResumes: cfg.JobsMaxResumes,
+		Timeout:    cfg.JobsTimeout,
+		Obs:        cfg.Obs,
+	})
 	return s
 }
+
+// Close stops accepting async job submissions; running jobs finish on
+// their own. Serving endpoints are unaffected (the HTTP listener's
+// Shutdown handles those).
+func (s *Server) Close() { s.jobs.Close() }
 
 // SetDraining flips the readiness state: once draining, /readyz answers
 // 503 so load balancers stop routing here while in-flight work finishes
@@ -201,6 +237,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/project", s.handleEval(opProject, "/v1/project", epProject, renderProject))
 	mux.HandleFunc("/v1/validate", s.handleEval(opValidate, "/v1/validate", epValidate, renderValidate))
 	mux.HandleFunc("/v1/surrogate", s.handleEval(opProject, "/v1/surrogate", epSurrogate, renderSurrogate))
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -285,17 +324,7 @@ func (s *Server) handleEval(op, endpoint string, ep int, render func(*swapp.Resu
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 			return
 		}
-		if len(body.Class) != 1 {
-			writeError(w, http.StatusBadRequest, errors.New("class must be a single letter (C or D)"))
-			return
-		}
-		req, err := swapp.Request{
-			Base:   body.Base,
-			Target: body.Target,
-			Bench:  nas.Benchmark(body.Bench),
-			Class:  nas.Class(body.Class[0]),
-			Ranks:  body.Ranks,
-		}.Normalized()
+		req, err := evalRequest(body)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -311,43 +340,67 @@ func (s *Server) handleEval(op, endpoint string, ep int, render func(*swapp.Resu
 			return
 		}
 
-		timeout := s.cfg.DefaultTimeout
-		if body.TimeoutMS > 0 {
-			timeout = time.Duration(body.TimeoutMS) * time.Millisecond
+		// Peer-aware mode: a group owned by another replica is forwarded
+		// there (unless this request was itself forwarded — the loop
+		// guard). A failed forward falls through to local computation.
+		if s.peers != nil && r.Header.Get(forwardedHeader) == "" {
+			if s.forwardEval(w, r, endpoint, body, req) {
+				s.obs.Observe("server.request_seconds", time.Since(start).Seconds())
+				return
+			}
 		}
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
-		}
-		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(body))
 		defer cancel()
 
 		res, hit, err := s.evaluate(ctx, op, key, req)
 		s.obs.Observe("server.request_seconds", time.Since(start).Seconds())
 		if err != nil {
-			var boe *breakerOpenError
-			switch {
-			case errors.Is(err, errQueueFull):
-				s.obs.Count("server.rejected", 1)
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusServiceUnavailable, err)
-			case errors.As(err, &boe):
-				s.obs.Count("server.breaker_rejected", 1)
-				w.Header().Set("Retry-After", retryAfterSeconds(boe.retryAfter))
-				writeError(w, http.StatusServiceUnavailable, err)
-			case errors.Is(err, swapp.ErrStageTimeout):
-				writeError(w, http.StatusGatewayTimeout, err)
-			case errors.Is(err, context.DeadlineExceeded):
-				writeError(w, http.StatusGatewayTimeout, err)
-			case errors.Is(err, context.Canceled):
-				// Client went away; the status is for the log line only.
-				writeError(w, statusClientClosedRequest, err)
-			default:
-				s.obs.Count("server.errors", 1)
-				writeError(w, http.StatusInternalServerError, err)
+			status, retryAfter := s.errorStatus(err)
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
 			}
+			writeError(w, status, err)
 			return
 		}
 		s.writeResult(w, key, ep, res, hit, render)
+	}
+}
+
+// evalRequest validates and normalises one API body into an engine request.
+func evalRequest(body APIRequest) (swapp.Request, error) {
+	if len(body.Class) != 1 {
+		return swapp.Request{}, errors.New("class must be a single letter (C or D)")
+	}
+	return swapp.Request{
+		Base:   body.Base,
+		Target: body.Target,
+		Bench:  nas.Benchmark(body.Bench),
+		Class:  nas.Class(body.Class[0]),
+		Ranks:  body.Ranks,
+	}.Normalized()
+}
+
+// errorStatus maps an evaluation error to its HTTP status and Retry-After
+// hint (empty when none), counting the rejection/error metrics as a side
+// effect — shared by the single-request endpoints and the batch entries.
+func (s *Server) errorStatus(err error) (status int, retryAfter string) {
+	var boe *breakerOpenError
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.obs.Count("server.rejected", 1)
+		return http.StatusServiceUnavailable, "1"
+	case errors.As(err, &boe):
+		s.obs.Count("server.breaker_rejected", 1)
+		return http.StatusServiceUnavailable, retryAfterSeconds(boe.retryAfter)
+	case errors.Is(err, swapp.ErrStageTimeout), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, ""
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is for the log line only.
+		return statusClientClosedRequest, ""
+	default:
+		s.obs.Count("server.errors", 1)
+		return http.StatusInternalServerError, ""
 	}
 }
 

@@ -6,10 +6,18 @@
 # was recorded on comparable hardware (same CPU count and GOMAXPROCS) —
 # swappbench skips latency gates across hosts on its own.
 #
+# A scenario present in the fresh run but absent from the committed
+# baseline is a warning, not a failure: swappbench prints "not in
+# baseline, skipped" and gates the rest, so adding a new scenario never
+# breaks CI before its first baseline commit.
+#
 # Knobs (env): BENCH_GATE_MAX_REGRESS (default 20), BENCH_GATE_COLD /
-# _WARM / _HOT / _DEGRADED to reshape the measured mix (defaults 0/10/200/0:
-# the cold scenario costs minutes and its allocs are pipeline-dominated,
-# so the gate leans on the cheap, serving-sensitive scenarios).
+# _WARM / _HOT / _DEGRADED / _MULTI to reshape the measured mix (defaults
+# 0/10/200/0/8: the cold scenario costs minutes and its allocs are
+# pipeline-dominated, so the gate leans on the cheap, serving-sensitive
+# scenarios; multi-replica-batch keeps the ring-forwarding path gated —
+# its op count must match the committed baseline's, because allocs/op
+# amortises the replicas' fixed background allocations over the ops).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,6 +32,7 @@ go build -o "$tmp/swappbench" ./cmd/swappbench
     -warm "${BENCH_GATE_WARM:-10}" \
     -hot "${BENCH_GATE_HOT:-200}" \
     -degraded "${BENCH_GATE_DEGRADED:-0}" \
+    -multi "${BENCH_GATE_MULTI:-8}" \
     -out "$tmp/run.json" \
     -gate BENCH_swappd.json \
     -max-regress "$max"

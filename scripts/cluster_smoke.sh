@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end smoke test of swappd's peer-aware mode
+# (DESIGN.md §13): build swappd, start three replicas wired into one
+# consistent-hash ring, run a grouped /v1/batch round-trip through one
+# node, kill the other two and require the surviving replica to answer
+# the same batch byte-identically via local fallback, rejoin the killed
+# replicas and round-trip once more, then drain everything with SIGTERM
+# and require clean exits.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/swappd" ./cmd/swappd
+
+# Peer-aware mode needs every replica's address up front, so reserve three
+# free ports before starting anything (bind-then-close; the race window is
+# harmless on a loopback smoke box).
+read -r p1 p2 p3 < <(python3 - <<'EOF'
+import socket
+socks = [socket.socket() for _ in range(3)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(*(s.getsockname()[1] for s in socks))
+for s in socks:
+    s.close()
+EOF
+)
+u1="http://127.0.0.1:$p1"; u2="http://127.0.0.1:$p2"; u3="http://127.0.0.1:$p3"
+
+start_replica() { # start_replica <index> <port> <peer-url> <peer-url>
+    local i=$1 port=$2
+    "$tmp/swappd" -addr "127.0.0.1:$port" -self "http://127.0.0.1:$port" \
+        -peers "$3,$4" >"$tmp/out$i.log" 2>"$tmp/err$i.log" &
+    pids[$i]=$!
+}
+wait_healthy() { # wait_healthy <port>
+    for _ in $(seq 1 100); do
+        curl -fsS "http://127.0.0.1:$1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "cluster-smoke: replica on port $1 never became healthy" >&2
+    return 1
+}
+
+start_replica 1 "$p1" "$u2" "$u3"
+start_replica 2 "$p2" "$u1" "$u3"
+start_replica 3 "$p3" "$u1" "$u2"
+wait_healthy "$p1"; wait_healthy "$p2"; wait_healthy "$p3"
+echo "cluster-smoke: 3 replicas up ($u1 $u2 $u3)"
+
+# Four requests hashing to two (base, target) groups: the batch endpoint
+# must dedupe the characterisation work per group and the ring must route
+# each group to its owner.
+batch='{"requests":[
+  {"target":"power6-575","bench":"BT-MZ","class":"C","ranks":16},
+  {"target":"power6-575","bench":"SP-MZ","class":"C","ranks":16},
+  {"target":"bgp","bench":"BT-MZ","class":"C","ranks":16},
+  {"target":"bgp","bench":"LU-MZ","class":"C","ranks":16}]}'
+
+check_batch() { # check_batch <body-file>
+    python3 - "$1" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+results = doc["results"]
+assert len(results) == 4, f"{len(results)} results, want 4"
+bad = [r for r in results if r["status"] != 200]
+assert not bad, f"failed entries: {bad}"
+assert doc["groups"] == 2, f'{doc["groups"]} groups, want 2'
+EOF
+}
+
+curl -fsS -X POST "$u1/v1/batch" -d "$batch" -o "$tmp/batch1.json"
+check_batch "$tmp/batch1.json"
+echo "cluster-smoke: grouped batch round-trip ok"
+
+# Crash the two peers (no drain) and require the survivor to degrade to
+# local computation with byte-identical answers.
+kill -KILL "${pids[2]}" "${pids[3]}"
+wait "${pids[2]}" 2>/dev/null || true
+wait "${pids[3]}" 2>/dev/null || true
+pids[2]=""; pids[3]=""
+curl -fsS -X POST "$u1/v1/batch" -d "$batch" -o "$tmp/batch2.json"
+check_batch "$tmp/batch2.json"
+cmp -s "$tmp/batch1.json" "$tmp/batch2.json" || {
+    echo "cluster-smoke: failover batch differs from the healthy one" >&2; exit 1; }
+echo "cluster-smoke: survivor answered byte-identically after peer crash"
+
+# Rejoin the crashed replicas and round-trip once more through the ring.
+start_replica 2 "$p2" "$u1" "$u3"
+start_replica 3 "$p3" "$u1" "$u2"
+wait_healthy "$p2"; wait_healthy "$p3"
+curl -fsS -X POST "$u1/v1/batch" -d "$batch" -o "$tmp/batch3.json"
+check_batch "$tmp/batch3.json"
+cmp -s "$tmp/batch1.json" "$tmp/batch3.json" || {
+    echo "cluster-smoke: post-rejoin batch differs from the healthy one" >&2; exit 1; }
+echo "cluster-smoke: peers rejoined, batch ok"
+
+# Clean drain everywhere.
+for i in 1 2 3; do
+    kill -TERM "${pids[$i]}"
+done
+for i in 1 2 3; do
+    wait "${pids[$i]}" || { echo "cluster-smoke: replica $i drain exited non-zero" >&2; exit 1; }
+    pids[$i]=""
+    grep -q drained "$tmp/err$i.log" || {
+        echo "cluster-smoke: replica $i missing drain log" >&2; exit 1; }
+done
+echo "cluster-smoke: ok (routing, failover, rejoin, clean drain)"

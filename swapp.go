@@ -114,6 +114,20 @@ type Request struct {
 	// populated the store — so it is off by default and recorded in the
 	// projection's Quality report when it fires. Requires Store.
 	WarmStart bool
+	// OnGAProgress, when non-nil, taps the GA surrogate search's
+	// per-generation progress (member index, generation, running best
+	// fitness, cloned best genome — the checkpoint material for resumable
+	// async jobs). Strictly passive; must be safe for concurrent calls
+	// (ensemble members run in parallel). Progress only fires when the
+	// search actually runs — a projection served whole from Store
+	// completes without generations.
+	OnGAProgress func(member, gen int, best float64, genome []float64)
+	// ResumeSeeds, when non-empty, seed the GA surrogate search's initial
+	// population directly — the async-job checkpoint-resume path. Like
+	// WarmStart this CAN change the projected numbers, so resumed
+	// searches bypass Store's content-addressed surrogate entries and
+	// record a GAResume defect in the projection's Quality report.
+	ResumeSeeds [][]float64
 }
 
 // withDefaults validates and fills the request.
@@ -270,7 +284,8 @@ func prepare(ctx context.Context, req Request) (*core.Pipeline, *core.AppModel, 
 		var err error
 		pipe, err = core.NewPipelineCtx(c, base, target, counts,
 			core.Options{Workers: req.Workers, Obs: req.Obs, Data: req.Data,
-				Store: req.Store, WarmStart: req.WarmStart})
+				Store: req.Store, WarmStart: req.WarmStart,
+				OnGAProgress: req.OnGAProgress, SurrogateSeeds: req.ResumeSeeds})
 		return err
 	}); err != nil {
 		return nil, nil, err
