@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-serve fuzz cover serve-smoke cluster-smoke chaos
+.PHONY: check build vet test race bench bench-serve bench-kernel-baseline fuzz cover serve-smoke cluster-smoke chaos
 
 ## check: everything CI runs — vet, build, full tests, race tests.
 check: vet build test race
@@ -26,12 +26,20 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'Speedup|EnforceSparsity|TopK' -benchtime 1x ./...
 
-# Serving-layer regression gate: rerun the cheap swappbench scenarios
-# (cache-hot, shared-base-warm) and fail on >20% p95 latency or allocs/op
-# regressions vs the committed BENCH_swappd.json. Regenerate the baseline
-# itself with: go run ./cmd/swappbench -out BENCH_swappd.json
+# Serving-layer regression gate: the GA evaluation-kernel microbenchmarks
+# (Benchmark{Kernel,ScoreAll} vs BENCH_kernel.json, via cmd/benchstatgate),
+# then the cheap swappbench scenarios (cache-hot, shared-base-warm) — both
+# fail on >20% regressions vs their committed baselines. Regenerate the
+# serving baseline with: go run ./cmd/swappbench -out BENCH_swappd.json
 bench-serve:
 	./scripts/bench_gate.sh
+
+# Rewrite BENCH_kernel.json from a fresh (longer, steadier) benchmark run
+# on this host. Commit the result.
+bench-kernel-baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel$$|BenchmarkScoreAll' -benchmem -benchtime 1s -count 3 \
+		./internal/core ./internal/ga > /tmp/kernel_bench.txt
+	$(GO) run ./cmd/benchstatgate -baseline BENCH_kernel.json -update /tmp/kernel_bench.txt
 
 # Short mutation pass over the persistence decoders (CI runs the same).
 fuzz:

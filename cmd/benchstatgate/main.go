@@ -1,0 +1,198 @@
+// benchstatgate gates `go test -bench` microbenchmark output against a
+// committed JSON baseline, the way scripts/bench_gate.sh gates swappbench
+// scenarios against BENCH_swappd.json:
+//
+//	go test -run '^$' -bench 'Kernel|ScoreAll' -benchmem ./... > run.txt
+//	benchstatgate -baseline BENCH_kernel.json run.txt            # gate
+//	benchstatgate -baseline BENCH_kernel.json -update run.txt    # rebaseline
+//
+// allocs/op is gated on every host: the allocation count of a
+// deterministic benchmark is hardware-independent, so any regression
+// beyond -max-regress percent (or any alloc on a zero-alloc baseline)
+// fails. ns/op is gated only when the baseline was recorded on comparable
+// hardware (same CPU count and GOMAXPROCS) — mirroring swappbench's
+// cross-host latency rule. A benchmark present in the run but missing
+// from the baseline warns and passes, so a new benchmark never breaks CI
+// before its first baseline commit; a baseline entry missing from the run
+// warns too, so silently dropped coverage is visible.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// Metrics is one benchmark's gated numbers.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Host pins the hardware a baseline was recorded on; ns/op comparisons
+// are skipped when it differs.
+type Host struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// Baseline is the committed file format.
+type Baseline struct {
+	Description string             `json:"description"`
+	Host        Host               `json:"host"`
+	Benchmarks  map[string]Metrics `json:"benchmarks"`
+}
+
+// benchLine matches one -benchmem result row, e.g.
+//
+//	BenchmarkScoreAll/hit-8   50244   4880 ns/op   0 B/op   0 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped from the name so baselines
+// compare across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ [A-Za-z]+/op)*?\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op`)
+
+// parseRun reads -benchmem output. Repeated results for one benchmark
+// (go test -count=N) collapse to the per-metric minimum: the fastest of N
+// runs is the lowest-noise estimator of a benchmark's true cost on a
+// shared box, so both gating runs and baselines should use -count >= 3.
+func parseRun(path string) (map[string]Metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]Metrics{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		allocs, _ := strconv.ParseFloat(m[4], 64)
+		got := Metrics{NsPerOp: ns, AllocsPerOp: allocs}
+		if prev, ok := out[m[1]]; ok {
+			if prev.NsPerOp < got.NsPerOp {
+				got.NsPerOp = prev.NsPerOp
+			}
+			if prev.AllocsPerOp < got.AllocsPerOp {
+				got.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		out[m[1]] = got
+	}
+	return out, sc.Err()
+}
+
+// regress returns the percentage increase of got over base (0 when base
+// is 0 and got is too; +Inf when only base is 0).
+func regress(base, got float64) float64 {
+	if base == 0 {
+		if got == 0 {
+			return 0
+		}
+		return inf
+	}
+	return (got - base) / base * 100
+}
+
+const inf = 1e308
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_kernel.json", "committed baseline JSON")
+	maxRegress := flag.Float64("max-regress", 20, "max tolerated regression in percent")
+	update := flag.Bool("update", false, "rewrite the baseline from the run instead of gating")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchstatgate [-baseline file] [-max-regress pct] [-update] <go-test-bench-output>")
+		os.Exit(2)
+	}
+	run, err := parseRun(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if len(run) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines in %s (was -benchmem set?)", flag.Arg(0)))
+	}
+
+	if *update {
+		b := Baseline{
+			Description: "kernel microbenchmark baseline: ns/op and allocs/op for the GA evaluation hot path (EvalKernel objective, evaluator scoreAll), gated by scripts/bench_gate.sh via cmd/benchstatgate. allocs/op gates on every host; ns/op only on matching hardware. Regenerate with: make bench-kernel-baseline",
+			Host:        Host{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)},
+			Benchmarks:  run,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchstatgate: baseline %s rewritten (%d benchmarks)\n", *baselinePath, len(run))
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *baselinePath, err))
+	}
+	sameHost := base.Host.NumCPU == runtime.NumCPU() && base.Host.GOMAXPROCS == runtime.GOMAXPROCS(0)
+	if !sameHost {
+		fmt.Printf("benchstatgate: host differs from baseline (cpu %d/%d, gomaxprocs %d/%d): ns/op gates skipped\n",
+			runtime.NumCPU(), base.Host.NumCPU, runtime.GOMAXPROCS(0), base.Host.GOMAXPROCS)
+	}
+
+	names := make([]string, 0, len(run))
+	for name := range run {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := 0
+	for _, name := range names {
+		got := run[name]
+		want, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("benchstatgate: %s: not in baseline, skipped (commit a rebaselined %s to gate it)\n", name, *baselinePath)
+			continue
+		}
+		if r := regress(want.AllocsPerOp, got.AllocsPerOp); r > *maxRegress {
+			fmt.Printf("benchstatgate: FAIL %s allocs/op %.1f vs baseline %.1f (+%.0f%% > %.0f%%)\n",
+				name, got.AllocsPerOp, want.AllocsPerOp, r, *maxRegress)
+			failed++
+		} else {
+			fmt.Printf("benchstatgate: ok   %s allocs/op %.1f (baseline %.1f)\n", name, got.AllocsPerOp, want.AllocsPerOp)
+		}
+		if sameHost {
+			if r := regress(want.NsPerOp, got.NsPerOp); r > *maxRegress {
+				fmt.Printf("benchstatgate: FAIL %s ns/op %.1f vs baseline %.1f (+%.0f%% > %.0f%%)\n",
+					name, got.NsPerOp, want.NsPerOp, r, *maxRegress)
+				failed++
+			} else {
+				fmt.Printf("benchstatgate: ok   %s ns/op %.1f (baseline %.1f)\n", name, got.NsPerOp, want.NsPerOp)
+			}
+		}
+	}
+	for name := range base.Benchmarks {
+		if _, ok := run[name]; !ok {
+			fmt.Printf("benchstatgate: warning: baseline benchmark %s missing from this run\n", name)
+		}
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d benchmark gate(s) failed", failed))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchstatgate:", err)
+	os.Exit(1)
+}

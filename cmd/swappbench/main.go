@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -163,6 +164,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mergeBase = fs.String("merge-baseline", "", "embed this prior run's scenarios as the baseline block and compute deltas")
 		gate      = fs.String("gate", "", "compare this run against a committed BENCH_swappd.json and fail on regression")
 		maxRegr   = fs.Float64("max-regress", 20, "max tolerated p95 latency / allocs-per-op regression, percent (-gate)")
+		cpuProf   = fs.String("cpuprofile", "", "write a per-scenario CPU profile to <prefix>.<scenario>.pb.gz (in-process mode)")
+		memProf   = fs.String("memprofile", "", "write a per-scenario allocation profile to <prefix>.<scenario>.pb.gz (in-process mode)")
 	)
 	var notes []string
 	fs.Func("note", "attach a free-form note to the report (repeatable)", func(v string) error {
@@ -200,9 +203,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Notes: notes,
 	}
 
+	if (*cpuProf != "" || *memProf != "") && *addr != "" {
+		fmt.Fprintln(stderr, "swappbench: -cpuprofile/-memprofile profile this process; they are only meaningful in in-process mode")
+		return 2
+	}
+	prof := profileConfig{cpuPrefix: *cpuProf, memPrefix: *memProf}
+
 	for _, sc := range scenarios {
 		fmt.Fprintf(stderr, "swappbench: scenario %s (%d requests, c=%d)\n", sc.name, measuredCount(sc), *conc)
-		res, err := runScenario(sc, *addr, *conc, *cacheSize, *evalW, *timeout)
+		res, err := runScenario(sc, *addr, *conc, *cacheSize, *evalW, *timeout, prof)
 		if err != nil {
 			fmt.Fprintf(stderr, "swappbench: scenario %s: %v\n", sc.name, err)
 			return 1
@@ -351,10 +360,55 @@ func buildScenarios(cold, warm, hot, degraded, multi int, external bool) []scena
 	return out
 }
 
+// profileConfig names the per-scenario pprof outputs: when a prefix is set,
+// the measured window of each scenario is profiled to
+// <prefix>.<scenario>.pb.gz, so a kernel win (or a future regression) is
+// attributable to the functions that moved. CPU profiles cover exactly the
+// measured requests; allocation profiles are the runtime's cumulative
+// alloc_space profile written at scenario end, so for exact attribution run
+// one scenario at a time (e.g. -cold 5 -warm 0 -hot 0 -degraded 0 -multi 0).
+type profileConfig struct {
+	cpuPrefix string
+	memPrefix string
+}
+
+// start begins the CPU profile for one scenario's measured window.
+func (p profileConfig) start(name string) (stop func() error, err error) {
+	if p.cpuPrefix == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(p.cpuPrefix + "." + name + ".pb.gz")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// heap writes the allocation profile at the end of one scenario.
+func (p profileConfig) heap(name string) error {
+	if p.memPrefix == "" {
+		return nil
+	}
+	f, err := os.Create(p.memPrefix + "." + name + ".pb.gz")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // flush the final allocation records
+	return pprof.Lookup("allocs").WriteTo(f, 0)
+}
+
 // runScenario measures one scenario: fresh in-process server (or the
 // external address), prime requests untimed, then the measured set on a
 // bounded worker pool.
-func runScenario(sc scenario, addr string, conc, cacheSize, evalWorkers int, timeout time.Duration) (*scenarioResult, error) {
+func runScenario(sc scenario, addr string, conc, cacheSize, evalWorkers int, timeout time.Duration, prof profileConfig) (*scenarioResult, error) {
 	base := addr
 	var shutdown func()
 	if base == "" {
@@ -433,6 +487,10 @@ func runScenario(sc scenario, addr string, conc, cacheSize, evalWorkers int, tim
 	if err != nil {
 		return nil, err
 	}
+	stopCPU, err := prof.start(sc.name)
+	if err != nil {
+		return nil, err
+	}
 	lat := make([]time.Duration, len(reqs))
 	errs := make([]error, len(reqs))
 	jobs := make(chan int)
@@ -456,8 +514,14 @@ func runScenario(sc scenario, addr string, conc, cacheSize, evalWorkers int, tim
 	close(jobs)
 	wg.Wait()
 	wall := time.Since(t0)
+	if err := stopCPU(); err != nil {
+		return nil, err
+	}
 	post, err := memSnapshot(addr, base)
 	if err != nil {
+		return nil, err
+	}
+	if err := prof.heap(sc.name); err != nil {
 		return nil, err
 	}
 

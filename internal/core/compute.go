@@ -356,37 +356,11 @@ func (p *Pipeline) computeSurrogate(ctx context.Context, parent *obs.Scope, app 
 	// each member must itself behave like the app (the paper's surrogate
 	// is "benchmarks that have similar behavior as the HPC application",
 	// not an arbitrary combination that cancels to the right average).
-	// Each ensemble member gets its own closure so the combo scratch is
-	// reused across that member's ~10⁴ serial evaluations without being
-	// shared between concurrently-running members.
+	// The objective is compiled once into an EvalKernel (see kernel.go)
+	// shared read-only by the whole ensemble; each member hands the GA a
+	// per-slot scratch row so concurrent evaluators never share state.
 	const memberPenalty = 1.0
-	newFitness := func() func(genome []float64) float64 {
-		combo := make([]float64, len(appVec))
-		return func(genome []float64) float64 {
-			var wsum float64
-			for _, w := range genome {
-				wsum += w
-			}
-			if wsum <= 0 {
-				return math.Inf(1)
-			}
-			for j := range combo {
-				combo[j] = 0
-			}
-			var member float64
-			for k, w := range genome {
-				if w == 0 {
-					continue
-				}
-				f := w / wsum
-				for j := range combo {
-					combo[j] += f * pool[k][j]
-				}
-				member += f * stats.WeightedDistance(pool[k], appVec, weights)
-			}
-			return stats.WeightedDistance(combo, appVec, weights) + memberPenalty*member
-		}
-	}
+	kern := NewEvalKernel(pool, appVec, weights, memberPenalty)
 	if opts.UseNNLS {
 		proj, err := p.nnlsProjection(app, ci, pool, appVec, weights, groupW, names)
 		return proj, nil, err
@@ -415,14 +389,23 @@ func (p *Pipeline) computeSurrogate(ctx context.Context, parent *obs.Scope, app 
 		}
 		ms := sp.ChildW(fmt.Sprintf("ga.member.%d", e), w)
 		defer ms.End()
+		// The ensemble is already fanned out; keep each member's own
+		// evaluation serial to avoid oversubscription.
+		const gaWorkers = 1
+		// One scratch row per GA evaluation slot: the kernel itself is
+		// shared read-only across the ensemble.
+		scratch := make([][]float64, gaWorkers)
+		for s := range scratch {
+			scratch[s] = kern.NewScratch()
+		}
 		cfg := ga.Config{
 			GenomeLen: len(names),
 			MaxActive: surrogateMaxSize,
 			Seed:      fmt.Sprintf("surrogate|%s|%s|%d|%d", app.Name(), p.Target.Name, ci, e),
-			Fitness:   newFitness(),
-			// The ensemble is already fanned out; keep each member's
-			// own evaluation serial to avoid oversubscription.
-			Workers: 1,
+			FitnessW: func(slot int, genome []float64) float64 {
+				return kern.Objective(genome, scratch[slot])
+			},
+			Workers: gaWorkers,
 			Obs:     ms,
 		}
 		if len(seeds) > 0 {

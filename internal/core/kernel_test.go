@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// referenceFitness is the closure-based objective the EvalKernel replaced,
+// kept verbatim as the byte-identity oracle.
+func referenceFitness(pool [][]float64, appVec, weights []float64, memberPenalty float64) func(genome []float64) float64 {
+	combo := make([]float64, len(appVec))
+	return func(genome []float64) float64 {
+		var wsum float64
+		for _, w := range genome {
+			wsum += w
+		}
+		if wsum <= 0 {
+			return math.Inf(1)
+		}
+		for j := range combo {
+			combo[j] = 0
+		}
+		var member float64
+		for k, w := range genome {
+			if w == 0 {
+				continue
+			}
+			f := w / wsum
+			for j := range combo {
+				combo[j] += f * pool[k][j]
+			}
+			member += f * stats.WeightedDistance(pool[k], appVec, weights)
+		}
+		return stats.WeightedDistance(combo, appVec, weights) + memberPenalty*member
+	}
+}
+
+// TestEvalKernelMatchesReference fuzzes random pools and genomes and
+// asserts the kernel's objective is bitwise-equal to the replaced closure
+// — the property that keeps every projection byte-identical at fixed
+// seeds.
+func TestEvalKernelMatchesReference(t *testing.T) {
+	src := rng.New("kernel-fuzz")
+	for trial := 0; trial < 50; trial++ {
+		benches := 2 + src.Intn(40)
+		metrics := 1 + src.Intn(40) // includes dims not divisible by the 4-wide block
+		pool := make([][]float64, benches)
+		for k := range pool {
+			row := make([]float64, metrics)
+			for j := range row {
+				row[j] = src.Normal(0, 2)
+			}
+			pool[k] = row
+		}
+		appVec := make([]float64, metrics)
+		weights := make([]float64, metrics)
+		for j := range appVec {
+			appVec[j] = src.Normal(0, 2)
+			weights[j] = src.Float64()
+		}
+		ref := referenceFitness(pool, appVec, weights, 1.0)
+		kern := NewEvalKernel(pool, appVec, weights, 1.0)
+		scratch := kern.NewScratch()
+
+		for g := 0; g < 200; g++ {
+			genome := make([]float64, benches)
+			switch g % 4 {
+			case 0: // dense
+				for j := range genome {
+					genome[j] = src.Float64()
+				}
+			case 1: // sparse, like the GA's MaxActive genomes
+				for _, idx := range src.Perm(benches)[:1+src.Intn(benches)] {
+					genome[idx] = src.Float64() * 2
+				}
+			case 2: // all zero — the wsum <= 0 guard
+			case 3: // single member
+				genome[src.Intn(benches)] = src.Float64()
+			}
+			want := ref(genome)
+			got := kern.Objective(genome, scratch)
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("trial %d genome %d (%d benches × %d metrics): kernel %v (%#x) != reference %v (%#x)",
+					trial, g, benches, metrics, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestEvalKernelScratchIndependence: calls through different scratch rows
+// must not interact, and a reused scratch must not leak state between
+// calls.
+func TestEvalKernelScratchIndependence(t *testing.T) {
+	src := rng.New("kernel-scratch")
+	pool := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	app := []float64{1, 1, 1}
+	weights := []float64{0.2, 0.3, 0.5}
+	kern := NewEvalKernel(pool, app, weights, 1.0)
+	ref := referenceFitness(pool, app, weights, 1.0)
+
+	g1 := []float64{0.5, 0, 0.5}
+	g2 := []float64{0, src.Float64(), 0}
+	s1, s2 := kern.NewScratch(), kern.NewScratch()
+	a := kern.Objective(g1, s1)
+	b := kern.Objective(g2, s2)
+	a2 := kern.Objective(g1, s1) // reuse after a different call on s2
+	if math.Float64bits(a) != math.Float64bits(a2) {
+		t.Fatalf("scratch reuse changed the objective: %v then %v", a, a2)
+	}
+	if math.Float64bits(a) != math.Float64bits(ref(g1)) || math.Float64bits(b) != math.Float64bits(ref(g2)) {
+		t.Fatalf("kernel disagrees with reference: %v/%v vs %v/%v", a, b, ref(g1), ref(g2))
+	}
+}

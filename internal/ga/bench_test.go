@@ -229,3 +229,77 @@ func BenchmarkRunSpeedup(b *testing.B) {
 	}
 	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
 }
+
+// benchScoreAllBatches pre-generates sparse genome batches at the
+// generation shape (PopSize−Elites children of GenomeLen 29).
+func benchScoreAllBatches(nBatches, batch, genomeLen int) [][][]float64 {
+	src := rng.New("bench-scoreall")
+	out := make([][][]float64, nBatches)
+	for bi := range out {
+		gs := make([][]float64, batch)
+		for i := range gs {
+			g := make([]float64, genomeLen)
+			for _, idx := range src.Perm(genomeLen)[:1+src.Intn(5)] {
+				g[idx] = src.Float64()
+			}
+			gs[i] = g
+		}
+		out[bi] = gs
+	}
+	return out
+}
+
+// cheapFitness stands in for the EvalKernel objective: a few flops, no
+// allocations — so the benchmark measures scoreAll's own overhead (hash,
+// memo, dispatch, readback), not the objective.
+func cheapFitness(g []float64) float64 {
+	var s float64
+	for i, v := range g {
+		s += v * float64(i+1)
+	}
+	return s
+}
+
+// BenchmarkScoreAll measures one evaluator batch. "miss" scores fresh
+// genomes (hash + insert + fitness dispatch + index readback); "hit"
+// rescores a fully memoized batch (pure probe + readback). Both are gated
+// by bench_gate.sh via BENCH_kernel.json; the hit path must stay
+// allocation-free and the miss path's allocs are the memo inserts alone.
+func BenchmarkScoreAll(b *testing.B) {
+	const genomeLen = 29
+	b.Run("miss", func(b *testing.B) {
+		batches := benchScoreAllBatches(512, 62, genomeLen)
+		ev := newBenchEvaluator(genomeLen)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%len(batches) == 0 {
+				// Fresh memo each sweep so every batch keeps missing.
+				ev = newBenchEvaluator(genomeLen)
+			}
+			ev.scoreAll(batches[i%len(batches)])
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		batches := benchScoreAllBatches(16, 62, genomeLen)
+		ev := newBenchEvaluator(genomeLen)
+		for _, gs := range batches {
+			ev.scoreAll(gs)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.scoreAll(batches[i%len(batches)])
+		}
+	})
+}
+
+func newBenchEvaluator(genomeLen int) *evaluator {
+	return &evaluator{
+		fn:        func(_ int, g []float64) float64 { return cheapFitness(g) },
+		workers:   1,
+		genomeLen: genomeLen,
+		hash:      genomeHash,
+		index:     make(map[uint64]int32, 256),
+	}
+}

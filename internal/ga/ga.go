@@ -12,17 +12,15 @@
 // result is byte-identical to the serial path: every candidate genome is
 // generated serially from the seeded RNG first, and only then scored
 // concurrently, so the RNG stream — and therefore the evolution — never
-// depends on scheduling. A memoization cache keyed on genome bytes ensures
-// duplicate genomes (e.g. children that escaped both crossover and
-// mutation) are never re-scored, and keeps Result.Evaluations independent
-// of the worker count.
+// depends on scheduling. A 64-bit hash memo (collision-checked against the
+// genome's float bits) ensures duplicate genomes (e.g. children that
+// escaped both crossover and mutation) are never re-scored, and keeps
+// Result.Evaluations independent of the worker count.
 package ga
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 	"sync/atomic"
 	"time"
 
@@ -73,9 +71,18 @@ type Config struct {
 	// generation budget. 0 — the default — runs all Generations.
 	StallGenerations int
 	// Fitness scores a genome; lower is better. Genomes are always
-	// non-negative. Required. It must be a pure function of the genome
-	// and safe for concurrent calls when Workers != 1.
+	// non-negative. Exactly one of Fitness and FitnessW is required. It
+	// must be a pure function of the genome and safe for concurrent calls
+	// when Workers != 1.
 	Fitness func(genome []float64) float64
+	// FitnessW is Fitness with the evaluation slot passed in: slot
+	// identifies which of the pool's workers is calling, numbered
+	// 0..par.Workers(Workers)-1 (always 0 when Workers is 1). It lets an
+	// objective with per-call scratch — like core's EvalKernel — keep one
+	// scratch arena per slot instead of locking or allocating. The same
+	// purity and concurrency-safety rules as Fitness apply; the slot must
+	// not influence the returned score.
+	FitnessW func(slot int, genome []float64) float64
 	// Workers bounds the fitness-evaluation pool: 0 (the default) means
 	// runtime.GOMAXPROCS(0), 1 selects the legacy serial path. The
 	// result is identical for every value.
@@ -104,8 +111,11 @@ func (c Config) withDefaults() (Config, error) {
 	if c.GenomeLen <= 0 {
 		return c, fmt.Errorf("ga: GenomeLen must be positive")
 	}
-	if c.Fitness == nil {
-		return c, fmt.Errorf("ga: Fitness is required")
+	if c.Fitness == nil && c.FitnessW == nil {
+		return c, fmt.Errorf("ga: Fitness (or FitnessW) is required")
+	}
+	if c.Fitness != nil && c.FitnessW != nil {
+		return c, fmt.Errorf("ga: Fitness and FitnessW are mutually exclusive")
 	}
 	if c.Seed == "" {
 		return c, fmt.Errorf("ga: Seed is required for reproducibility")
@@ -177,29 +187,101 @@ type individual struct {
 
 // evaluator scores genome batches on a worker pool with memoization. It is
 // used from a single goroutine; only the fitness calls it issues run
-// concurrently. The batch scratch (jobs, keyBuf, out, pending) is reused
-// across generations, so a steady-state generation's only allocations are
-// the memo insertions for genuinely new genomes.
+// concurrently.
+//
+// The memo is a 64-bit hash index: a genome hashes to a bucket head in
+// index, buckets chain through memoEntry.next, and every probe is
+// collision-checked against the stored genome's float bits — a hash
+// collision costs one extra comparison, never a wrong score. Scored
+// genomes live in one flat slab (entry i's genome at i×genomeLen), so the
+// memo's steady-state cost is appends to three flat slices; no string
+// keys are ever materialised. The batch scratch (jobs, idx, out) is
+// reused across generations.
 type evaluator struct {
-	fn          func([]float64) float64
-	workers     int
-	memo        map[string]float64
+	fn        func(slot int, g []float64) float64
+	workers   int
+	genomeLen int
+	// hash maps a genome to its memo bucket. Overridable (before first
+	// use) so tests can force collisions; the default is genomeHash.
+	hash        func([]float64) uint64
 	evals       int
 	hits        int
 	quarantined atomic.Int64
 	obs         *obs.Scope
 
-	jobs    []scoreJob
-	keyBuf  []byte
-	out     []float64
-	pending map[string]bool
+	index   map[uint64]int32
+	entries []memoEntry
+	slab    []float64
+
+	jobs []int32 // entry indices awaiting a fitness call this batch
+	idx  []int32 // per-input entry index, recorded at dispatch
+	out  []float64
 }
 
-// scoreJob is one deduplicated genome awaiting a fitness call.
-type scoreJob struct {
-	key     string
-	genome  []float64
+// memoEntry is one scored (or being-scored) genome. Its genome lives in
+// the evaluator slab at the entry's own index.
+type memoEntry struct {
 	fitness float64
+	next    int32 // next entry in the same hash bucket, -1 ends the chain
+}
+
+// genomeHash is the default memo hash: word-at-a-time FNV-1a over the
+// genome's float bits. Dispersion only has to separate chain neighbours —
+// every lookup is verified against the full genome anyway.
+func genomeHash(g []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range g {
+		h ^= math.Float64bits(v)
+		h *= prime64
+	}
+	return h
+}
+
+// genomeOf returns entry i's genome slice in the slab.
+func (e *evaluator) genomeOf(i int32) []float64 {
+	return e.slab[int(i)*e.genomeLen : (int(i)+1)*e.genomeLen]
+}
+
+// lookup returns the memo entry index holding g, or -1. Bit-exact
+// comparison: the memo distinguishes genomes exactly as the old byte-key
+// did.
+func (e *evaluator) lookup(h uint64, g []float64) int32 {
+	head, ok := e.index[h]
+	if !ok {
+		return -1
+	}
+	for i := head; i >= 0; i = e.entries[i].next {
+		stored := e.genomeOf(i)
+		match := true
+		for j := range g {
+			if math.Float64bits(stored[j]) != math.Float64bits(g[j]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+// insert adds g to the memo (fitness still unset) and returns its entry
+// index.
+func (e *evaluator) insert(h uint64, g []float64) int32 {
+	i := int32(len(e.entries))
+	next := int32(-1)
+	if head, ok := e.index[h]; ok {
+		next = head
+	}
+	e.entries = append(e.entries, memoEntry{next: next})
+	e.slab = append(e.slab, g...)
+	e.index[h] = i
+	return i
 }
 
 // safeScore scores one genome, quarantining failures: a panicking fitness
@@ -207,7 +289,7 @@ type scoreJob struct {
 // under minimisation — so one bad chromosome cannot kill the whole search.
 // The quarantine score is memoized like any other, keeping the evolution
 // deterministic at every worker count.
-func (e *evaluator) safeScore(g []float64) (f float64) {
+func (e *evaluator) safeScore(slot int, g []float64) (f float64) {
 	defer func() {
 		if v := recover(); v != nil {
 			e.quarantined.Add(1)
@@ -218,46 +300,30 @@ func (e *evaluator) safeScore(g []float64) (f float64) {
 		e.quarantined.Add(1)
 		return math.Inf(1)
 	}
-	return e.fn(g)
+	return e.fn(slot, g)
 }
 
-// appendGenomeKey packs a genome's float bits into dst as a map-key byte
-// string. Callers look the key up with m[string(dst)] — the compiler
-// elides the string conversion for map index expressions, so probing the
-// memo allocates nothing; the string is only materialised on insert.
-func appendGenomeKey(dst []byte, g []float64) []byte {
-	for _, v := range g {
-		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
-	}
-	return dst
-}
-
-// genomeKey packs a genome's float bits into a string map key.
-func genomeKey(g []float64) string {
-	return string(appendGenomeKey(make([]byte, 0, 8*len(g)), g))
-}
-
-// scoreAll returns the fitness of each genome. Unseen genomes are deduped
-// within the batch, scored concurrently on the pool, and memoized; the
-// returned order matches the input order regardless of scheduling. The
-// returned slice is the evaluator's reusable scratch: it is valid until
-// the next scoreAll call.
+// scoreAll returns the fitness of each genome. Each input is hashed and
+// probed exactly once: unseen genomes enter the memo immediately (so
+// in-batch duplicates dedupe against the same entry), their entry indices
+// are recorded as the batch's jobs, scored concurrently on the pool, and
+// read back by the per-input indices recorded at dispatch — no second key
+// pass. The returned slice is the evaluator's reusable scratch: it is
+// valid until the next scoreAll call.
 func (e *evaluator) scoreAll(genomes [][]float64) []float64 {
 	e.jobs = e.jobs[:0]
-	if e.pending == nil {
-		e.pending = map[string]bool{}
+	if cap(e.idx) < len(genomes) {
+		e.idx = make([]int32, len(genomes))
 	}
-	for _, g := range genomes {
-		e.keyBuf = appendGenomeKey(e.keyBuf[:0], g)
-		if _, ok := e.memo[string(e.keyBuf)]; ok {
-			continue
+	idx := e.idx[:len(genomes)]
+	for i, g := range genomes {
+		h := e.hash(g)
+		ei := e.lookup(h, g)
+		if ei < 0 {
+			ei = e.insert(h, g)
+			e.jobs = append(e.jobs, ei)
 		}
-		if e.pending[string(e.keyBuf)] {
-			continue
-		}
-		k := string(e.keyBuf)
-		e.pending[k] = true
-		e.jobs = append(e.jobs, scoreJob{key: k, genome: g})
+		idx[i] = ei
 	}
 	jobs := e.jobs
 	e.evals += len(jobs)
@@ -266,22 +332,22 @@ func (e *evaluator) scoreAll(genomes [][]float64) []float64 {
 	// untouched, so the disabled layer costs two nil checks per batch.
 	e.obs.Count("ga.evaluations", int64(len(jobs)))
 	e.obs.Count("ga.cache_hits", int64(len(genomes)-len(jobs)))
-	// par.ForEach runs inline when workers <= 1 — the legacy serial path.
-	_ = par.ForEach(e.workers, len(jobs), func(i int) error {
-		jobs[i].fitness = e.safeScore(jobs[i].genome)
-		return nil
-	})
-	for i := range jobs {
-		e.memo[jobs[i].key] = jobs[i].fitness
-		delete(e.pending, jobs[i].key)
+	// par.ForEachW runs inline (slot 0) when workers <= 1 — the legacy
+	// serial path. Workers write disjoint entries; the entries slice is
+	// not resized while they run. The guard keeps a fully memoized batch
+	// allocation-free: the closure literal itself would otherwise escape.
+	if len(jobs) > 0 {
+		_ = par.ForEachW(e.workers, len(jobs), func(w, i int) error {
+			e.entries[jobs[i]].fitness = e.safeScore(w, e.genomeOf(jobs[i]))
+			return nil
+		})
 	}
 	if cap(e.out) < len(genomes) {
 		e.out = make([]float64, len(genomes))
 	}
 	out := e.out[:len(genomes)]
-	for i, g := range genomes {
-		e.keyBuf = appendGenomeKey(e.keyBuf[:0], g)
-		out[i] = e.memo[string(e.keyBuf)]
+	for i, ei := range idx {
+		out[i] = e.entries[ei].fitness
 	}
 	return out
 }
@@ -298,11 +364,18 @@ func Run(cfg Config) (*Result, error) {
 	src := rng.New("ga|" + cfg.Seed)
 	res := &Result{}
 	var sparsityScratch []gene
+	fn := cfg.FitnessW
+	if fn == nil {
+		plain := cfg.Fitness
+		fn = func(_ int, g []float64) float64 { return plain(g) }
+	}
 	ev := &evaluator{
-		fn:      cfg.Fitness,
-		workers: par.Workers(cfg.Workers),
-		memo:    make(map[string]float64, cfg.PopSize*2),
-		obs:     sp,
+		fn:        fn,
+		workers:   par.Workers(cfg.Workers),
+		genomeLen: cfg.GenomeLen,
+		hash:      genomeHash,
+		index:     make(map[uint64]int32, cfg.PopSize*2),
+		obs:       sp,
 	}
 
 	// Genomes live in two flat ping-pong arenas: each generation's
@@ -596,12 +669,20 @@ func enforceSparsityScratch(g []float64, maxActive int, scratch []gene) []gene {
 	if len(nz) <= maxActive {
 		return nz
 	}
-	sort.Slice(nz, func(a, b int) bool {
-		if nz[a].v != nz[b].v {
-			return nz[a].v < nz[b].v
+	// Insertion sort on (value, index): the comparator is a total order,
+	// so the result is the unique sorted permutation — identical to any
+	// correct sort — and the nonzero list is tiny (bounded by the genome
+	// length, typically a handful over MaxActive), where insertion sort
+	// beats sort.Slice and skips its per-call reflection allocations.
+	for i := 1; i < len(nz); i++ {
+		x := nz[i]
+		j := i - 1
+		for j >= 0 && (nz[j].v > x.v || (nz[j].v == x.v && nz[j].i > x.i)) {
+			nz[j+1] = nz[j]
+			j--
 		}
-		return nz[a].i < nz[b].i
-	})
+		nz[j+1] = x
+	}
 	for _, z := range nz[:len(nz)-maxActive] {
 		g[z.i] = 0
 	}

@@ -1,0 +1,164 @@
+package ga
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// newTestEvaluator builds an evaluator the way Run does, minus the config
+// plumbing.
+func newTestEvaluator(genomeLen int, fn func([]float64) float64) *evaluator {
+	return &evaluator{
+		fn:        func(_ int, g []float64) float64 { return fn(g) },
+		workers:   1,
+		genomeLen: genomeLen,
+		hash:      genomeHash,
+		index:     map[uint64]int32{},
+	}
+}
+
+// sum is a fitness whose value identifies the genome, so a memo mixup is
+// visible in the returned score.
+func sum(g []float64) float64 {
+	var s float64
+	for i, v := range g {
+		s += v * float64(i+1)
+	}
+	return s
+}
+
+// TestMemoCollisionStillScoresCorrectly forces every genome into the same
+// hash bucket and checks that the collision chain still attributes each
+// fitness to the right genome — the memo's correctness must come from the
+// bit-exact genome comparison, never from hash uniqueness.
+func TestMemoCollisionStillScoresCorrectly(t *testing.T) {
+	const genomeLen = 6
+	ev := newTestEvaluator(genomeLen, sum)
+	ev.hash = func([]float64) uint64 { return 0xdead } // everyone collides
+
+	src := rng.New("memo-collision")
+	var genomes [][]float64
+	for i := 0; i < 40; i++ {
+		g := make([]float64, genomeLen)
+		for j := range g {
+			if src.Float64() < 0.6 {
+				g[j] = src.Float64()
+			}
+		}
+		genomes = append(genomes, g)
+	}
+	// Batch 1: all new. Include an in-batch duplicate of genome 0.
+	batch := append(append([][]float64{}, genomes...), genomes[0])
+	out := ev.scoreAll(batch)
+	for i, g := range batch {
+		if want := sum(g); out[i] != want {
+			t.Fatalf("colliding batch: genome %d scored %v, want %v", i, out[i], want)
+		}
+	}
+	if ev.evals != len(genomes) {
+		t.Errorf("evals = %d, want %d (duplicate must dedupe inside the colliding bucket)", ev.evals, len(genomes))
+	}
+	if ev.hits != 1 {
+		t.Errorf("hits = %d, want 1", ev.hits)
+	}
+
+	// Batch 2: all seen — every score must come from the chain, walked to
+	// the right entry.
+	calls := 0
+	ev.fn = func(_ int, g []float64) float64 { calls++; return sum(g) }
+	out = ev.scoreAll(genomes)
+	for i, g := range genomes {
+		if want := sum(g); out[i] != want {
+			t.Fatalf("memo readback: genome %d scored %v, want %v", i, out[i], want)
+		}
+	}
+	if calls != 0 {
+		t.Errorf("fitness called %d times on fully memoized batch, want 0", calls)
+	}
+}
+
+// TestMemoCollidingPairDistinct pins the minimal collision case: two
+// different genomes with an identical hash get distinct entries and
+// distinct scores.
+func TestMemoCollidingPairDistinct(t *testing.T) {
+	ev := newTestEvaluator(2, sum)
+	ev.hash = func([]float64) uint64 { return 7 }
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	out := ev.scoreAll([][]float64{a, b, a, b})
+	if out[0] != sum(a) || out[1] != sum(b) || out[2] != sum(a) || out[3] != sum(b) {
+		t.Fatalf("colliding pair scores %v, want [%v %v %v %v]", out, sum(a), sum(b), sum(a), sum(b))
+	}
+	if ev.evals != 2 || ev.hits != 2 {
+		t.Errorf("evals=%d hits=%d, want 2 and 2", ev.evals, ev.hits)
+	}
+	if len(ev.entries) != 2 {
+		t.Errorf("entries = %d, want 2", len(ev.entries))
+	}
+}
+
+// TestMemoMatchesByBitsNotValue checks the memo distinguishes genomes the
+// way the old byte-string key did: by float bit patterns.
+func TestMemoMatchesByBitsNotValue(t *testing.T) {
+	ev := newTestEvaluator(1, func(g []float64) float64 { return g[0] * 3 })
+	a := []float64{0.5}
+	c := []float64{0.25}
+	out := ev.scoreAll([][]float64{a, c, a})
+	if out[0] != 1.5 || out[1] != 0.75 || out[2] != 1.5 {
+		t.Fatalf("scores %v", out)
+	}
+	if ev.evals != 2 || ev.hits != 1 {
+		t.Errorf("evals=%d hits=%d, want 2 and 1", ev.evals, ev.hits)
+	}
+}
+
+// TestFitnessWEquivalence: routing the same objective through FitnessW
+// (slot-aware) must reproduce the Fitness path byte for byte, at every
+// worker count, with slots staying in range.
+func TestFitnessWEquivalence(t *testing.T) {
+	obj := sphere([]float64{0.3, 0, 0.7, 0, 0.1, 0.9})
+	base := Config{
+		GenomeLen: 6, MaxActive: 3, Seed: "fitnessw", PopSize: 16, Generations: 30,
+		Fitness: obj,
+	}
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := base
+		cfg.Fitness = nil
+		cfg.Workers = workers
+		maxSlot := workers
+		cfg.FitnessW = func(slot int, g []float64) float64 {
+			if slot < 0 || slot >= maxSlot {
+				t.Errorf("slot %d outside [0,%d)", slot, maxSlot)
+			}
+			return obj(g)
+		}
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.BestFitness) != math.Float64bits(want.BestFitness) {
+			t.Errorf("workers=%d: FitnessW best %v != Fitness best %v", workers, got.BestFitness, want.BestFitness)
+		}
+		if got.Evaluations != want.Evaluations {
+			t.Errorf("workers=%d: evaluations %d != %d", workers, got.Evaluations, want.Evaluations)
+		}
+	}
+}
+
+// TestFitnessExclusive: setting both objectives is a config error.
+func TestFitnessExclusive(t *testing.T) {
+	_, err := Run(Config{
+		GenomeLen: 2, Seed: "s",
+		Fitness:  func(g []float64) float64 { return 0 },
+		FitnessW: func(_ int, g []float64) float64 { return 0 },
+	})
+	if err == nil {
+		t.Fatal("Run accepted both Fitness and FitnessW")
+	}
+}

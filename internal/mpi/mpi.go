@@ -86,11 +86,14 @@ type RoutineEvent struct {
 	// only). The profile uses them to model the communication pattern —
 	// which peer distances the application talks to — so a projection can
 	// split intra-node from inter-node traffic under any node geometry.
+	// The slice is backed by per-rank scratch: it is valid only for the
+	// duration of the OnRoutine call and must not be retained.
 	Peers []int
 }
 
 // Observer receives simulation activity; implementations must be cheap and
-// must not block.
+// must not block. Event slices (RoutineEvent.Peers) are reused between
+// calls and must not be retained past the callback.
 type Observer interface {
 	// OnCompute reports dt of application compute on a rank.
 	OnCompute(rank int, dt units.Seconds)
@@ -118,6 +121,56 @@ type pendingSend struct {
 type pendingRecv struct {
 	post units.Seconds
 	req  *Request
+}
+
+// sendQueue is a FIFO of unmatched sends for one matchKey. Pops advance a
+// head index instead of reslicing, and a drained queue rewinds to reuse its
+// backing array. Benchmark loops mint a fresh tag (hence a fresh matchKey)
+// per message, so drained queues are recycled through a World freelist
+// rather than left under their key — the map churns keys but the queue
+// structs and their backing arrays are reused, and the steady state of a
+// million-message loop allocates nothing.
+type sendQueue struct {
+	items []*pendingSend
+	head  int
+}
+
+func (q *sendQueue) push(ps *pendingSend) { q.items = append(q.items, ps) }
+
+func (q *sendQueue) pop() *pendingSend {
+	if q.head == len(q.items) {
+		return nil
+	}
+	ps := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return ps
+}
+
+// recvQueue is sendQueue for unmatched receives.
+type recvQueue struct {
+	items []*pendingRecv
+	head  int
+}
+
+func (q *recvQueue) push(rq *pendingRecv) { q.items = append(q.items, rq) }
+
+func (q *recvQueue) pop() *pendingRecv {
+	if q.head == len(q.items) {
+		return nil
+	}
+	rq := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return rq
 }
 
 // Request is a non-blocking operation handle.
@@ -153,13 +206,64 @@ type World struct {
 	rxFree  []units.Seconds // per-node NIC reception availability
 	shmFree []units.Seconds // per-node shared-memory transport availability
 
-	sends map[matchKey][]*pendingSend
-	recvs map[matchKey][]*pendingRecv
+	sends map[matchKey]*sendQueue
+	recvs map[matchKey]*recvQueue
 
 	colls   map[int]*collOp // collective sequence → state
 	signals int             // unique signal naming
 
+	// Slab arenas for the per-message bookkeeping records. A simulated
+	// job mints one Request and one pending record per message — tens of
+	// millions per characterisation — so they are carved out of chunked
+	// arenas instead of allocated individually: one allocation per
+	// arenaChunk records, all released together when the World dies.
+	reqSlab  []Request
+	sendSlab []pendingSend
+	recvSlab []pendingRecv
+
+	// Freelists of drained match queues (see sendQueue).
+	sendQFree []*sendQueue
+	recvQFree []*recvQueue
+
 	obs Observer
+}
+
+// arenaChunk is how many records one arena slab holds.
+const arenaChunk = 128
+
+// peerScratchSeed is the per-rank starting capacity (in peers) of the
+// scratch slice backing RoutineEvent.Peers; Waitall grows it only when a
+// single call waits on more requests than this.
+const peerScratchSeed = 32
+
+// newRequest carves a Request from the world's arena.
+func (w *World) newRequest() *Request {
+	if len(w.reqSlab) == 0 {
+		w.reqSlab = make([]Request, arenaChunk)
+	}
+	r := &w.reqSlab[0]
+	w.reqSlab = w.reqSlab[1:]
+	return r
+}
+
+// newPendingSend carves a pendingSend from the world's arena.
+func (w *World) newPendingSend() *pendingSend {
+	if len(w.sendSlab) == 0 {
+		w.sendSlab = make([]pendingSend, arenaChunk)
+	}
+	p := &w.sendSlab[0]
+	w.sendSlab = w.sendSlab[1:]
+	return p
+}
+
+// newPendingRecv carves a pendingRecv from the world's arena.
+func (w *World) newPendingRecv() *pendingRecv {
+	if len(w.recvSlab) == 0 {
+		w.recvSlab = make([]pendingRecv, arenaChunk)
+	}
+	p := &w.recvSlab[0]
+	w.recvSlab = w.recvSlab[1:]
+	return p
 }
 
 // NewWorld creates a job of size ranks on machine m with one task per
@@ -196,8 +300,8 @@ func NewWorldHybrid(m *arch.Machine, size, threadsPerRank int) (*World, error) {
 		txFree:  make([]units.Seconds, nodes),
 		rxFree:  make([]units.Seconds, nodes),
 		shmFree: make([]units.Seconds, nodes),
-		sends:   map[matchKey][]*pendingSend{},
-		recvs:   map[matchKey][]*pendingRecv{},
+		sends:   map[matchKey]*sendQueue{},
+		recvs:   map[matchKey]*recvQueue{},
 		colls:   map[int]*collOp{},
 	}, nil
 }
@@ -212,9 +316,16 @@ func (w *World) Size() int { return w.size }
 // completion, returning the job's makespan (the virtual time when the last
 // rank finishes).
 func (w *World) Run(program func(r *Rank)) (units.Seconds, error) {
+	// One allocation for all rank handles and one for all their peer
+	// scratches; process names render lazily via SpawnKind.
+	ranks := make([]Rank, w.size)
+	peerSlab := make([]int, w.size*peerScratchSeed)
 	for i := 0; i < w.size; i++ {
-		rank := &Rank{w: w, id: i}
-		w.kernel.Spawn(fmt.Sprintf("rank%d", i), func(p *des.Proc) {
+		rank := &ranks[i]
+		rank.w = w
+		rank.id = i
+		rank.peerScratch = peerSlab[i*peerScratchSeed : i*peerScratchSeed : (i+1)*peerScratchSeed]
+		w.kernel.SpawnKind("rank", i, func(p *des.Proc) {
 			rank.proc = p
 			program(rank)
 		})
@@ -225,10 +336,11 @@ func (w *World) Run(program func(r *Rank)) (units.Seconds, error) {
 	return w.kernel.Now(), nil
 }
 
-// newSignal mints a uniquely named signal.
+// newSignal mints a uniquely named signal. The name is formatted lazily
+// by the kernel — only deadlock reports ever render it.
 func (w *World) newSignal(kind string) *des.Signal {
 	w.signals++
-	return w.kernel.NewSignal(fmt.Sprintf("%s#%d", kind, w.signals))
+	return w.kernel.NewSignalKind(kind, w.signals)
 }
 
 // Rank is the per-process MPI handle.
@@ -238,6 +350,10 @@ type Rank struct {
 	proc *des.Proc
 
 	collSeq int
+
+	// peerScratch backs RoutineEvent.Peers for this rank's observer
+	// events; observers may not retain it (see Observer).
+	peerScratch []int
 }
 
 // ID returns this rank's index.
@@ -267,10 +383,12 @@ func (r *Rank) report(rt Routine, bytes units.Bytes, count int, elapsed units.Se
 	}
 }
 
-// reportP2P is report with the peer rank attached.
+// reportP2P is report with the peer rank attached. The peers slice is the
+// rank's scratch — valid only inside the observer call.
 func (r *Rank) reportP2P(rt Routine, bytes units.Bytes, count int, elapsed units.Seconds, peer int) {
 	if r.w.obs != nil {
-		r.w.obs.OnRoutine(r.id, RoutineEvent{Routine: rt, Bytes: bytes, Count: count, Elapsed: elapsed, Peers: []int{peer}})
+		r.peerScratch = append(r.peerScratch[:0], peer)
+		r.w.obs.OnRoutine(r.id, RoutineEvent{Routine: rt, Bytes: bytes, Count: count, Elapsed: elapsed, Peers: r.peerScratch})
 	}
 }
 
@@ -313,11 +431,7 @@ func (w *World) launchTransfer(src, dst int, size units.Bytes, ready units.Secon
 
 // fireAt fires sig at absolute virtual time t (or immediately if past).
 func (w *World) fireAt(sig *des.Signal, t units.Seconds) {
-	delay := t - w.kernel.Now()
-	if delay < 0 {
-		delay = 0
-	}
-	w.kernel.Schedule(delay, sig.Fire)
+	w.kernel.FireAt(sig, t-w.kernel.Now())
 }
 
 // Isend posts a non-blocking send of size bytes to dst with tag and
@@ -336,26 +450,29 @@ func (r *Rank) isend(dst int, size units.Bytes, tag int, report bool) *Request {
 	start := r.Now()
 	cost := w.Model.P2P(r.id, dst, size)
 	r.proc.Advance(cost.LibOverhead)
-	req := &Request{done: w.newSignal("send"), size: size, peer: dst, isSend: true}
+	req := w.newRequest()
+	*req = Request{done: w.newSignal("send"), size: size, peer: dst, isSend: true}
 
 	key := matchKey{src: r.id, dst: dst, tag: tag}
 	if cost.Rendezvous {
-		ps := &pendingSend{size: size, post: r.Now(), eager: false, req: req, srcRank: r.id, dstRank: dst}
+		ps := w.newPendingSend()
+		*ps = pendingSend{size: size, post: r.Now(), eager: false, req: req, srcRank: r.id, dstRank: dst}
 		if rq := w.popRecv(key); rq != nil {
 			w.completeRendezvous(ps, rq, key)
 		} else {
-			w.sends[key] = append(w.sends[key], ps)
+			w.pushSend(key, ps)
 		}
 	} else {
 		// Eager: the payload flies now; the send completes once the
 		// NIC has swallowed it (independent of the receiver).
 		arrival, injected := w.launchTransfer(r.id, dst, size, r.Now())
 		w.fireAt(req.done, injected)
-		ps := &pendingSend{size: size, post: r.Now(), arrival: arrival, eager: true, req: req, srcRank: r.id, dstRank: dst}
 		if rq := w.popRecv(key); rq != nil {
 			w.fireAt(rq.req.done, arrival)
 		} else {
-			w.sends[key] = append(w.sends[key], ps)
+			ps := w.newPendingSend()
+			*ps = pendingSend{size: size, post: r.Now(), arrival: arrival, eager: true, req: req, srcRank: r.id, dstRank: dst}
+			w.pushSend(key, ps)
 		}
 	}
 	if report {
@@ -378,7 +495,8 @@ func (r *Rank) irecv(src int, size units.Bytes, tag int, report bool) *Request {
 	start := r.Now()
 	cost := w.Model.P2P(src, r.id, size)
 	r.proc.Advance(cost.LibOverhead)
-	req := &Request{done: w.newSignal("recv"), size: size, peer: src}
+	req := w.newRequest()
+	*req = Request{done: w.newSignal("recv"), size: size, peer: src}
 
 	key := matchKey{src: src, dst: r.id, tag: tag}
 	if ps := w.popSend(key); ps != nil {
@@ -389,10 +507,13 @@ func (r *Rank) irecv(src int, size units.Bytes, tag int, report bool) *Request {
 			}
 			w.fireAt(req.done, done)
 		} else {
-			w.completeRendezvous(ps, &pendingRecv{post: r.Now(), req: req}, key)
+			matched := pendingRecv{post: r.Now(), req: req}
+			w.completeRendezvous(ps, &matched, key)
 		}
 	} else {
-		w.recvs[key] = append(w.recvs[key], &pendingRecv{post: r.Now(), req: req})
+		rq := w.newPendingRecv()
+		*rq = pendingRecv{post: r.Now(), req: req}
+		w.pushRecv(key, rq)
 	}
 	if report {
 		r.reportP2P(RoutineIrecv, size, 1, r.Now()-start, src)
@@ -414,17 +535,47 @@ func (w *World) completeRendezvous(ps *pendingSend, rq *pendingRecv, key matchKe
 	w.fireAt(rq.req.done, arrival)
 }
 
+// pushSend enqueues an unmatched send for key.
+func (w *World) pushSend(key matchKey, ps *pendingSend) {
+	q := w.sends[key]
+	if q == nil {
+		if n := len(w.sendQFree); n > 0 {
+			q = w.sendQFree[n-1]
+			w.sendQFree = w.sendQFree[:n-1]
+		} else {
+			q = &sendQueue{items: make([]*pendingSend, 0, 4)}
+		}
+		w.sends[key] = q
+	}
+	q.push(ps)
+}
+
+// pushRecv enqueues an unmatched recv for key.
+func (w *World) pushRecv(key matchKey, rq *pendingRecv) {
+	q := w.recvs[key]
+	if q == nil {
+		if n := len(w.recvQFree); n > 0 {
+			q = w.recvQFree[n-1]
+			w.recvQFree = w.recvQFree[:n-1]
+		} else {
+			q = &recvQueue{items: make([]*pendingRecv, 0, 4)}
+		}
+		w.recvs[key] = q
+	}
+	q.push(rq)
+}
+
 // popSend removes and returns the oldest unmatched send for key, or nil.
+// A drained queue goes back on the freelist and its key is released.
 func (w *World) popSend(key matchKey) *pendingSend {
 	q := w.sends[key]
-	if len(q) == 0 {
+	if q == nil {
 		return nil
 	}
-	ps := q[0]
-	if len(q) == 1 {
+	ps := q.pop()
+	if ps != nil && len(q.items) == 0 {
 		delete(w.sends, key)
-	} else {
-		w.sends[key] = q[1:]
+		w.sendQFree = append(w.sendQFree, q)
 	}
 	return ps
 }
@@ -432,14 +583,13 @@ func (w *World) popSend(key matchKey) *pendingSend {
 // popRecv removes and returns the oldest unmatched recv for key, or nil.
 func (w *World) popRecv(key matchKey) *pendingRecv {
 	q := w.recvs[key]
-	if len(q) == 0 {
+	if q == nil {
 		return nil
 	}
-	rq := q[0]
-	if len(q) == 1 {
+	rq := q.pop()
+	if rq != nil && len(q.items) == 0 {
 		delete(w.recvs, key)
-	} else {
-		w.recvs[key] = q[1:]
+		w.recvQFree = append(w.recvQFree, q)
 	}
 	return rq
 }
@@ -448,12 +598,13 @@ func (w *World) popRecv(key matchKey) *pendingRecv {
 func (r *Rank) Waitall(reqs ...*Request) {
 	start := r.Now()
 	var bytes units.Bytes
-	var peers []int
+	peers := r.peerScratch[:0]
 	for _, rq := range reqs {
 		r.proc.WaitSignal(rq.done)
 		bytes += rq.size
 		peers = append(peers, rq.peer)
 	}
+	r.peerScratch = peers
 	mean := units.Bytes(0)
 	if len(reqs) > 0 {
 		mean = bytes / units.Bytes(len(reqs))
@@ -491,7 +642,8 @@ func (r *Rank) Sendrecv(dst int, sendSize units.Bytes, src int, recvSize units.B
 	r.proc.WaitSignal(sreq.done)
 	r.proc.WaitSignal(rreq.done)
 	if r.w.obs != nil {
-		r.w.obs.OnRoutine(r.id, RoutineEvent{Routine: RoutineSendrecv, Bytes: sendSize, Count: 2, Elapsed: r.Now() - start, Peers: []int{dst, src}})
+		r.peerScratch = append(r.peerScratch[:0], dst, src)
+		r.w.obs.OnRoutine(r.id, RoutineEvent{Routine: RoutineSendrecv, Bytes: sendSize, Count: 2, Elapsed: r.Now() - start, Peers: r.peerScratch})
 	}
 }
 

@@ -11,6 +11,12 @@
 # baseline, skipped" and gates the rest, so adding a new scenario never
 # breaks CI before its first baseline commit.
 #
+# The script also gates the GA evaluation-kernel microbenchmarks
+# (Benchmark{Kernel,ScoreAll}) against BENCH_kernel.json through
+# cmd/benchstatgate, under the same rules: >20% ns/op or allocs/op
+# regression fails (ns/op only on the baseline's hardware), missing from
+# baseline warns. Regenerate that baseline with: make bench-kernel-baseline
+#
 # Knobs (env): BENCH_GATE_MAX_REGRESS (default 20), BENCH_GATE_COLD /
 # _WARM / _HOT / _DEGRADED / _MULTI to reshape the measured mix (defaults
 # 0/10/200/0/8: the cold scenario costs minutes and its allocs are
@@ -25,6 +31,15 @@ cd "$(dirname "$0")/.."
 max=${BENCH_GATE_MAX_REGRESS:-20}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
+
+# Kernel microbenchmarks first: cheap, and a broken hot path should fail
+# before the minutes-long serving scenarios run.
+# -count=3: benchstatgate takes the per-metric minimum across runs, which
+# rides out scheduler noise on shared single-CPU CI boxes.
+go test -run '^$' -bench 'BenchmarkKernel$|BenchmarkScoreAll' -benchmem \
+    -benchtime "${BENCH_GATE_KERNEL_BENCHTIME:-300ms}" -count 3 \
+    ./internal/core ./internal/ga > "$tmp/kernel_bench.txt"
+go run ./cmd/benchstatgate -baseline BENCH_kernel.json -max-regress "$max" "$tmp/kernel_bench.txt"
 
 go build -o "$tmp/swappbench" ./cmd/swappbench
 "$tmp/swappbench" \
