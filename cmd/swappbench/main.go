@@ -29,6 +29,8 @@
 //	                  the lenient/quality path
 //	multi-replica-batch  3 peer-wired in-process replicas; each measured op
 //	                  is one /v1/batch whose groups hash across the ring
+//	cluster-scaling-{2,4,8}  the same grouped batch measured at 2, 4 and 8
+//	                  peer-wired replicas — the ring-size scaling curve
 package main
 
 import (
@@ -113,6 +115,7 @@ type runConfig struct {
 	Hot         int    `json:"hot"`
 	Degraded    int    `json:"degraded"`
 	Multi       int    `json:"multi,omitempty"`
+	Scaling     int    `json:"scaling,omitempty"`
 	Mode        string `json:"mode"` // "in-process" or the external address
 }
 
@@ -150,22 +153,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("swappbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr      = fs.String("addr", "", "drive an external swappd at this address instead of hosting in-process")
-		conc      = fs.Int("c", 4, "client concurrency")
-		cold      = fs.Int("cold", 5, "cache-cold requests (0 disables the scenario, max 9 distinct)")
-		warm      = fs.Int("warm", 10, "shared-base-warm requests (0 disables, max 10 distinct)")
-		hot       = fs.Int("hot", 200, "cache-hot requests (0 disables)")
-		degraded  = fs.Int("degraded", 3, "degraded-input requests (0 disables, max 3 distinct; in-process only)")
-		multi     = fs.Int("multi", 8, "multi-replica /v1/batch round-trips across 3 peer-wired replicas (0 disables; in-process only)")
-		cacheSize = fs.Int("cache", 128, "server result-cache capacity (in-process mode)")
-		evalW     = fs.Int("eval-workers", 0, "engine pool per evaluation (in-process mode)")
-		timeout   = fs.Duration("timeout", 5*time.Minute, "per-request client timeout")
-		out       = fs.String("out", "-", "write the JSON report here (- = stdout)")
-		mergeBase = fs.String("merge-baseline", "", "embed this prior run's scenarios as the baseline block and compute deltas")
-		gate      = fs.String("gate", "", "compare this run against a committed BENCH_swappd.json and fail on regression")
-		maxRegr   = fs.Float64("max-regress", 20, "max tolerated p95 latency / allocs-per-op regression, percent (-gate)")
-		cpuProf   = fs.String("cpuprofile", "", "write a per-scenario CPU profile to <prefix>.<scenario>.pb.gz (in-process mode)")
-		memProf   = fs.String("memprofile", "", "write a per-scenario allocation profile to <prefix>.<scenario>.pb.gz (in-process mode)")
+		addr       = fs.String("addr", "", "drive an external swappd at this address instead of hosting in-process")
+		conc       = fs.Int("c", 4, "client concurrency")
+		cold       = fs.Int("cold", 5, "cache-cold requests (0 disables the scenario, max 9 distinct)")
+		warm       = fs.Int("warm", 10, "shared-base-warm requests (0 disables, max 10 distinct)")
+		hot        = fs.Int("hot", 200, "cache-hot requests (0 disables)")
+		degraded   = fs.Int("degraded", 3, "degraded-input requests (0 disables, max 3 distinct; in-process only)")
+		multi      = fs.Int("multi", 8, "multi-replica /v1/batch round-trips across 3 peer-wired replicas (0 disables; in-process only)")
+		scaling    = fs.Int("scaling", 0, "cluster-scaling /v1/batch round-trips, measured at 2, 4 and 8 peer-wired replicas (0 disables; in-process only)")
+		cacheSize  = fs.Int("cache", 128, "server result-cache capacity (in-process mode)")
+		evalW      = fs.Int("eval-workers", 0, "engine pool per evaluation (in-process mode)")
+		timeout    = fs.Duration("timeout", 5*time.Minute, "per-request client timeout")
+		out        = fs.String("out", "-", "write the JSON report here (- = stdout)")
+		mergeBase  = fs.String("merge-baseline", "", "embed this prior run's scenarios as the baseline block and compute deltas")
+		gate       = fs.String("gate", "", "compare this run against a committed BENCH_swappd.json and fail on regression")
+		gateStrict = fs.Bool("gate-strict", false, "with -gate, also fail when this run covers fewer scenarios than the baseline (CI coverage guard)")
+		maxRegr    = fs.Float64("max-regress", 20, "max tolerated allocs-per-op regression, percent (-gate)")
+		maxLatRegr = fs.Float64("max-latency-regress", 50, "max tolerated p50 latency regression, percent (-gate); looser than -max-regress because wall-clock on a time-shared host swings tens of percent run to run while allocs/op is near-deterministic")
+		cpuProf    = fs.String("cpuprofile", "", "write a per-scenario CPU profile to <prefix>.<scenario>.pb.gz (in-process mode)")
+		memProf    = fs.String("memprofile", "", "write a per-scenario allocation profile to <prefix>.<scenario>.pb.gz (in-process mode)")
 	)
 	var notes []string
 	fs.Func("note", "attach a free-form note to the report (repeatable)", func(v string) error {
@@ -176,7 +182,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	scenarios := buildScenarios(*cold, *warm, *hot, *degraded, *multi, *addr != "")
+	scenarios := buildScenarios(*cold, *warm, *hot, *degraded, *multi, *scaling, *addr != "")
 	if len(scenarios) == 0 {
 		fmt.Fprintln(stderr, "swappbench: all scenarios disabled")
 		return 2
@@ -197,8 +203,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		},
 		Config: runConfig{
 			Concurrency: *conc, Cold: *cold, Warm: *warm, Hot: *hot, Degraded: *degraded,
-			Multi: *multi,
-			Mode:  modeName(*addr),
+			Multi: *multi, Scaling: *scaling,
+			Mode: modeName(*addr),
 		},
 		Notes: notes,
 	}
@@ -254,7 +260,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "swappbench: -gate: %v\n", err)
 			return 1
 		}
-		if !gateCheck(stderr, doc, committed, *maxRegr) {
+		if !gateCheck(stderr, doc, committed, *maxRegr, *maxLatRegr, *gateStrict) {
 			return 1
 		}
 		fmt.Fprintln(stderr, "swappbench: gate passed")
@@ -276,11 +282,23 @@ func measuredCount(sc scenario) int {
 	return len(sc.reqs)
 }
 
-// buildScenarios assembles the four distributions, truncated to the
-// requested sizes. Unique-request scenarios are never cycled: a repeated
-// request would hit the result cache and stop measuring what the scenario
-// claims to.
-func buildScenarios(cold, warm, hot, degraded, multi int, external bool) []scenario {
+// scalingBatch is the fixed workload of the cluster-scaling scenarios: six
+// requests spanning three ring groups, identical at every replica count so
+// the only variable across cluster-scaling-2/4/8 is the ring size itself.
+var scalingBatch = []apiReq{
+	{Target: "bgp", Bench: "BT-MZ", Class: "C", Ranks: 16},
+	{Target: "bgp", Bench: "SP-MZ", Class: "C", Ranks: 16},
+	{Target: "power6-575", Bench: "BT-MZ", Class: "C", Ranks: 16},
+	{Target: "power6-575", Bench: "BT-MZ", Class: "C", Ranks: 32},
+	{Target: "westmere-x5670", Bench: "LU-MZ", Class: "C", Ranks: 16},
+	{Target: "westmere-x5670", Bench: "SP-MZ", Class: "C", Ranks: 32},
+}
+
+// buildScenarios assembles the distributions, truncated to the requested
+// sizes. Unique-request scenarios are never cycled: a repeated request
+// would hit the result cache and stop measuring what the scenario claims
+// to.
+func buildScenarios(cold, warm, hot, degraded, multi, scaling int, external bool) []scenario {
 	var out []scenario
 	if cold > 0 {
 		reqs := []apiReq{
@@ -343,6 +361,22 @@ func buildScenarios(cold, warm, hot, degraded, multi int, external bool) []scena
 			batch:    batch,
 			n:        multi,
 		})
+	}
+	if scaling > 0 && !external {
+		// The same primed batch at 2, 4 and 8 replicas: the workload and group
+		// count are fixed, so latency differences across the three scenarios
+		// are attributable to ring size (more forwarding hops land off-node as
+		// membership grows, while per-owner work shrinks).
+		for _, replicas := range []int{2, 4, 8} {
+			out = append(out, scenario{
+				name: fmt.Sprintf("cluster-scaling-%d", replicas),
+				note: fmt.Sprintf("%d peer-wired replicas; each measured op is one /v1/batch of 6 requests "+
+					"spanning 3 ring groups, owners primed: routing overhead as the ring grows", replicas),
+				replicas: replicas,
+				batch:    scalingBatch,
+				n:        scaling,
+			})
+		}
 	}
 	if degraded > 0 && !external {
 		reqs := []apiReq{
@@ -410,11 +444,11 @@ func (p profileConfig) heap(name string) error {
 // bounded worker pool.
 func runScenario(sc scenario, addr string, conc, cacheSize, evalWorkers int, timeout time.Duration, prof profileConfig) (*scenarioResult, error) {
 	base := addr
-	var shutdown func()
+	var shutdown, quiesce func()
 	if base == "" {
 		var err error
 		if sc.replicas > 1 {
-			base, shutdown, err = startReplicas(sc, cacheSize, evalWorkers)
+			base, shutdown, quiesce, err = startReplicas(sc, cacheSize, evalWorkers)
 		} else {
 			base, shutdown, err = startServer(sc, cacheSize, evalWorkers)
 		}
@@ -473,6 +507,12 @@ func runScenario(sc scenario, addr string, conc, cacheSize, evalWorkers int, tim
 		if _, err := do(apiReq{}); err != nil {
 			return nil, fmt.Errorf("prime: %w", err)
 		}
+	}
+	if quiesce != nil {
+		// The prime phase's fresh computes fire asynchronous replication
+		// pushes between the replicas; join them before measuring, or their
+		// allocations land nondeterministically inside the measured window.
+		quiesce()
 	}
 
 	reqs := sc.reqs
@@ -588,7 +628,7 @@ func startServer(sc scenario, cacheSize, evalWorkers int) (string, func(), error
 // first replica's address: the load generator drives one node and lets the
 // ring fan the groups out. Listeners are bound before any server is
 // constructed so every replica knows the full peer list up front.
-func startReplicas(sc scenario, cacheSize, evalWorkers int) (string, func(), error) {
+func startReplicas(sc scenario, cacheSize, evalWorkers int) (string, func(), func(), error) {
 	n := sc.replicas
 	lns := make([]net.Listener, n)
 	urls := make([]string, n)
@@ -598,12 +638,13 @@ func startReplicas(sc scenario, cacheSize, evalWorkers int) (string, func(), err
 			for _, l := range lns[:i] {
 				_ = l.Close()
 			}
-			return "", nil, err
+			return "", nil, nil, err
 		}
 		lns[i] = ln
 		urls[i] = "http://" + ln.Addr().String()
 	}
 	servers := make([]*http.Server, n)
+	srvs := make([]*server.Server, n)
 	scopes := make([]*obs.Scope, n)
 	for i := range servers {
 		peers := make([]string, 0, n-1)
@@ -622,6 +663,7 @@ func startReplicas(sc scenario, cacheSize, evalWorkers int) (string, func(), err
 
 			DisableLayeredCache: sc.noStore,
 		})
+		srvs[i] = srv
 		servers[i] = &http.Server{Handler: srv.Handler()}
 		go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(servers[i], lns[i])
 	}
@@ -633,7 +675,12 @@ func startReplicas(sc scenario, cacheSize, evalWorkers int) (string, func(), err
 			s.End()
 		}
 	}
-	return lns[0].Addr().String(), stop, nil
+	quiesce := func() {
+		for _, s := range srvs {
+			s.WaitReplication()
+		}
+	}
+	return lns[0].Addr().String(), stop, quiesce, nil
 }
 
 // checkBatch verifies a 200 batch envelope really carried n individual
@@ -747,11 +794,53 @@ func compare(cur, base []scenarioResult) *comparison {
 	return c
 }
 
+// scenarioKnob names the swappbench flag that enables one scenario, for
+// strict-gate diagnostics.
+func scenarioKnob(name string) string {
+	switch {
+	case name == "cache-cold":
+		return "-cold"
+	case name == "shared-base-warm":
+		return "-warm"
+	case name == "cache-hot":
+		return "-hot"
+	case name == "degraded-input":
+		return "-degraded"
+	case name == "multi-replica-batch":
+		return "-multi"
+	case strings.HasPrefix(name, "cluster-scaling-"):
+		return "-scaling"
+	}
+	return ""
+}
+
+// replicaScenario reports whether a scenario hosts peer-wired replicas and
+// drives real HTTP between them (vs a single in-process server).
+func replicaScenario(name string) bool {
+	return name == "multi-replica-batch" || strings.HasPrefix(name, "cluster-scaling-")
+}
+
 // gateCheck compares a fresh run against the committed baseline file and
-// reports pass/fail. Latency comparisons only hold on comparable hardware:
-// when the committed environment differs in CPU count, they are skipped
-// (with a note) and only the host-independent allocs/op gate applies.
-func gateCheck(w io.Writer, cur, committed *benchFile, maxRegressPct float64) bool {
+// reports pass/fail. Latency is gated on p50: every scenario runs at most
+// a few hundred requests, so its p95 is one or two outlier samples and
+// swings 30-50% run to run on a shared box, while the median is stable.
+// Even the median breathes with host load, so latency gets its own looser
+// tolerance (maxLatRegressPct) than allocs/op (maxRegressPct); allocs/op
+// is near-deterministic for single-server scenarios but breathes too in
+// the replica scenarios (retry/admission timing between peers), which
+// therefore use the latency tolerance for both metrics. Latency comparisons only hold on comparable hardware: when the committed
+// environment differs in CPU count, they are skipped (with a note) and
+// only the host-independent allocs/op gate applies. Neither metric is
+// compared when a scenario ran a different number of requests than the
+// baseline: allocs/op amortises fixed per-scenario costs (first-request
+// lazy init, replica background work) over the op count, and latency
+// depends on how many requests queue against the worker pool — such a
+// scenario contributes coverage only.
+//
+// In strict mode (CI) coverage itself is gated: every baseline scenario
+// must appear in this run, so a misconfigured knob — or a harness edit that
+// silently drops a scenario — cannot shrink what the gate protects.
+func gateCheck(w io.Writer, cur, committed *benchFile, maxRegressPct, maxLatRegressPct float64, strict bool) bool {
 	comparableHost := committed.Environment.CPUs == cur.Environment.CPUs &&
 		committed.Environment.GOMAXPROCS == cur.Environment.GOMAXPROCS
 	if !comparableHost {
@@ -772,21 +861,52 @@ func gateCheck(w io.Writer, cur, committed *benchFile, maxRegressPct float64) bo
 			fmt.Fprintf(w, "swappbench: gate: scenario %s not in baseline, skipped\n", c.Name)
 			continue
 		}
-		check := func(metric string, got, want float64, enabled bool) {
+		check := func(metric string, got, want, tolerancePct float64, enabled bool) {
 			if !enabled || want <= 0 {
 				return
 			}
 			regr := 100 * (got - want) / want
 			status := "ok"
-			if regr > maxRegressPct {
+			if regr > tolerancePct {
 				status = "FAIL"
 				pass = false
 			}
-			fmt.Fprintf(w, "swappbench: gate: %-18s %-14s %12.1f vs %12.1f (%+6.1f%%) %s\n",
-				c.Name, metric, got, want, regr, status)
+			fmt.Fprintf(w, "swappbench: gate: %-18s %-14s %12.1f vs %12.1f (%+6.1f%%, tol %.0f%%) %s\n",
+				c.Name, metric, got, want, regr, tolerancePct, status)
 		}
-		check("p95_ms", c.P95Ms, base.P95Ms, comparableHost)
-		check("allocs_per_op", c.AllocsPerOp, base.AllocsPerOp, true)
+		if c.Requests != base.Requests {
+			fmt.Fprintf(w, "swappbench: gate: %-18s measured at %d requests vs %d in baseline; "+
+				"metrics not compared (coverage only)\n", c.Name, c.Requests, base.Requests)
+			continue
+		}
+		allocTol := maxRegressPct
+		if replicaScenario(c.Name) {
+			// Replica scenarios route real HTTP between peer servers; how
+			// many forwards hit the admission queue's 503-and-retry path is
+			// timing-dependent, so even allocs/op breathes run to run and
+			// gets the looser latency tolerance.
+			allocTol = maxLatRegressPct
+		}
+		check("p50_ms", c.P50Ms, base.P50Ms, maxLatRegressPct, comparableHost)
+		check("allocs_per_op", c.AllocsPerOp, base.AllocsPerOp, allocTol, true)
+	}
+	if strict {
+		covered := map[string]bool{}
+		for _, c := range cur.Scenarios {
+			covered[c.Name] = true
+		}
+		for _, b := range committed.Scenarios {
+			if covered[b.Name] {
+				continue
+			}
+			pass = false
+			if knob := scenarioKnob(b.Name); knob != "" {
+				fmt.Fprintf(w, "swappbench: gate: FAIL baseline scenario %s not measured by this run (enable it with %s)\n", b.Name, knob)
+			} else {
+				fmt.Fprintf(w, "swappbench: gate: FAIL baseline scenario %s is unknown to this harness; "+
+					"regenerate BENCH_swappd.json or restore the scenario\n", b.Name)
+			}
+		}
 	}
 	return pass
 }
@@ -818,10 +938,10 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
-func ms(d time.Duration) float64      { return round3(float64(d) / float64(time.Millisecond)) }
-func round1(v float64) float64        { return roundTo(v, 10) }
-func round2(v float64) float64        { return roundTo(v, 100) }
-func round3(v float64) float64        { return roundTo(v, 1000) }
+func ms(d time.Duration) float64 { return round3(float64(d) / float64(time.Millisecond)) }
+func round1(v float64) float64   { return roundTo(v, 10) }
+func round2(v float64) float64   { return roundTo(v, 100) }
+func round3(v float64) float64   { return roundTo(v, 1000) }
 func roundTo(v float64, s float64) float64 {
 	if v < 0 {
 		return -roundTo(-v, s)

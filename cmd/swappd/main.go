@@ -71,6 +71,10 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		warmStart   = fs.Bool("warm-start", false, "seed GA surrogate searches from the nearest cached surrogate (CAN change the numbers; recorded in the quality block)")
 		self        = fs.String("self", "", "this replica's advertised base URL in peer-aware mode (e.g. http://10.0.0.1:8080)")
 		peers       = fs.String("peers", "", "comma-separated base URLs of the other replicas; with -self, enables consistent-hash request routing")
+		gossip      = fs.Bool("gossip", true, "run SWIM-style health gossip over -peers so the ring follows live membership; false pins the static -peers ring (fallback mode)")
+		gossipEvery = fs.Duration("gossip-interval", time.Second, "gossip probe cadence")
+		gossipSusp  = fs.Duration("gossip-suspect", 0, "suspicion grace before a peer is declared dead (0 = 3x interval)")
+		gossipProbe = fs.Duration("gossip-probe-timeout", 0, "single gossip probe deadline (0 = interval/2)")
 		jobsActive  = fs.Int("jobs-active", 0, "max concurrently running async jobs (0 = default 2)")
 		jobsQueued  = fs.Int("jobs-queued", 0, "async jobs waiting beyond the running ones (0 = default 4x active)")
 		jobsResumes = fs.Int("jobs-resumes", 0, "checkpoint resumes after a failed job attempt (0 = default 1, negative = off)")
@@ -108,8 +112,12 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		DisableLayeredCache: !*layered,
 		WarmStart:           *warmStart,
 
-		Self:           *self,
-		Peers:          splitPeers(*peers),
+		Self:               *self,
+		Peers:              splitPeers(*peers),
+		GossipInterval:     gossipInterval(*gossip, *gossipEvery),
+		GossipSuspectAfter: *gossipSusp,
+		GossipProbeTimeout: *gossipProbe,
+
 		JobsMaxActive:  *jobsActive,
 		JobsMaxQueued:  *jobsQueued,
 		JobsMaxResumes: *jobsResumes,
@@ -141,20 +149,33 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	case <-sig:
 	}
 
-	// Drain: flip readiness so load balancers stop routing here, stop
-	// accepting async job submissions, then let in-flight requests finish
-	// under the grace deadline.
+	// Drain: flip readiness so load balancers stop routing here, hand
+	// unfinished async jobs (with their checkpoint seeds) to their groups'
+	// new ring owners, stop gossip and submissions, then let in-flight
+	// requests finish under the grace deadline.
 	fmt.Fprintln(stderr, "swappd: signal received, draining")
 	srv.SetDraining(true)
-	srv.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
+	if n := srv.Handoff(ctx); n > 0 {
+		fmt.Fprintf(stderr, "swappd: handed off %d job(s)\n", n)
+	}
+	srv.Close()
 	if err := hs.Shutdown(ctx); err != nil {
 		fmt.Fprintf(stderr, "swappd: drain incomplete: %v\n", err)
 		return 1
 	}
 	fmt.Fprintln(stderr, "swappd: drained")
 	return 0
+}
+
+// gossipInterval resolves the -gossip / -gossip-interval pair: zero (static
+// membership) unless gossip mode is on.
+func gossipInterval(enabled bool, every time.Duration) time.Duration {
+	if !enabled {
+		return 0
+	}
+	return every
 }
 
 // splitPeers parses the comma-separated -peers list, dropping empties so a

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// PeerState is one peer's health as this replica sees it. Transitions
+// follow the SWIM shape: alive → suspect on a failed (direct and indirect)
+// probe round, suspect → dead once the suspicion outlives SuspectAfter
+// without a successful probe, and any state → alive on a successful probe
+// (rejoin).
+type PeerState string
+
+const (
+	PeerAlive   PeerState = "alive"
+	PeerSuspect PeerState = "suspect"
+	PeerDead    PeerState = "dead"
+)
+
+// GossipConfig parameterises a Gossip instance. Self and Peers are
+// required; everything else defaults sanely.
+type GossipConfig struct {
+	// Self is this replica's address; it is always part of the alive view.
+	Self string
+	// Peers are the other replicas' addresses (the configured membership).
+	Peers []string
+	// ProbeInterval is the cadence of protocol rounds (default 1s). The
+	// production loop ticks at this rate; tests drive Tick directly.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one direct or indirect probe (default
+	// ProbeInterval/2).
+	ProbeTimeout time.Duration
+	// SuspectAfter is how long a peer stays suspect before it is declared
+	// dead (default 3×ProbeInterval). A successful probe at any point
+	// cancels the suspicion.
+	SuspectAfter time.Duration
+	// IndirectPeers is how many other alive peers are asked to confirm a
+	// failed direct probe before the target is suspected (default 2). The
+	// indirect path distinguishes "the target is down" from "the link
+	// between us is down".
+	IndirectPeers int
+	// Now is the protocol clock (default time.Now; injectable so state
+	// transitions are deterministic in tests).
+	Now func() time.Time
+	// Probe performs one direct health check of addr. Required.
+	Probe func(ctx context.Context, addr string) error
+	// IndirectProbe asks via to health-check target on this replica's
+	// behalf. nil disables the indirect round (a failed direct probe
+	// suspects immediately).
+	IndirectProbe func(ctx context.Context, via, target string) error
+	// OnChange observes every change of the alive view: the sorted alive
+	// membership, self included. Called synchronously from Tick, outside
+	// the gossip lock.
+	OnChange func(alive []string)
+	// Obs receives cluster.gossip_probes / _suspects / _deaths / _rejoins
+	// counters and the cluster.members gauge. nil disables metrics.
+	Obs *obs.Scope
+}
+
+// Gossip is a lightweight SWIM-style failure detector over a fixed
+// configured membership: each protocol round probes one peer round-robin,
+// escalating failed probes through indirect confirmation, suspicion, and
+// death, and feeding every alive-view change to OnChange — the hook the
+// serving layer uses to rebuild its consistent-hash ring without restarts.
+//
+// Dead peers keep being probed at the same cadence, so a restarted replica
+// rejoins on its first successful probe; no operator action and no process
+// restart is needed on either side.
+type Gossip struct {
+	cfg GossipConfig
+	obs *obs.Scope
+
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+	order []string // sorted probe rotation
+	next  int      // rotation cursor
+}
+
+// peerHealth is one peer's detector state.
+type peerHealth struct {
+	state       PeerState
+	suspectedAt time.Time
+}
+
+// NewGossip builds a detector from cfg, applying defaults. Every peer
+// starts alive: a cold cluster assumes the configured membership is up and
+// lets the first probe rounds correct it.
+func NewGossip(cfg GossipConfig) *Gossip {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeInterval / 2
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 3 * cfg.ProbeInterval
+	}
+	if cfg.IndirectPeers <= 0 {
+		cfg.IndirectPeers = 2
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	g := &Gossip{cfg: cfg, obs: cfg.Obs, peers: map[string]*peerHealth{}}
+	for _, p := range cfg.Peers {
+		if p == "" || p == cfg.Self {
+			continue
+		}
+		if _, ok := g.peers[p]; !ok {
+			g.peers[p] = &peerHealth{state: PeerAlive}
+			g.order = append(g.order, p)
+		}
+	}
+	sort.Strings(g.order)
+	g.obs.Gauge("cluster.members", float64(len(g.order)+1))
+	return g
+}
+
+// Alive returns the current alive membership, sorted, self included.
+// Suspect peers still count as alive: suspicion is a grace period, not a
+// verdict, and evicting a slow peer early would churn the ring twice.
+func (g *Gossip) Alive() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.aliveLocked()
+}
+
+func (g *Gossip) aliveLocked() []string {
+	alive := []string{g.cfg.Self}
+	for addr, ph := range g.peers {
+		if ph.state != PeerDead {
+			alive = append(alive, addr)
+		}
+	}
+	sort.Strings(alive)
+	return alive
+}
+
+// State reports one peer's detector state (PeerDead for unknown peers).
+func (g *Gossip) State(addr string) PeerState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if ph, ok := g.peers[addr]; ok {
+		return ph.state
+	}
+	return PeerDead
+}
+
+// Tick runs one protocol round: expire overdue suspicions, then probe the
+// next peer in the sorted rotation (direct, then indirect). Deterministic
+// given the injected clock and probe outcomes — the production Run loop
+// calls it on a ticker; tests call it directly.
+func (g *Gossip) Tick(ctx context.Context) {
+	g.mu.Lock()
+	if len(g.order) == 0 {
+		g.mu.Unlock()
+		return
+	}
+	now := g.cfg.Now()
+	changed := g.expireLocked(now)
+	target := g.order[g.next%len(g.order)]
+	g.next++
+	// Indirect relays: other peers currently believed alive.
+	var relays []string
+	for _, addr := range g.order {
+		if addr != target && g.peers[addr].state == PeerAlive {
+			relays = append(relays, addr)
+		}
+	}
+	if len(relays) > g.cfg.IndirectPeers {
+		relays = relays[:g.cfg.IndirectPeers]
+	}
+	g.mu.Unlock()
+
+	up := g.probe(ctx, target, relays)
+
+	g.mu.Lock()
+	now = g.cfg.Now()
+	ph := g.peers[target]
+	switch {
+	case up && ph.state != PeerAlive:
+		// Only a dead→alive rejoin changes the alive view: a recovering
+		// suspect was still counted alive throughout its grace period.
+		if ph.state == PeerDead {
+			g.obs.Count("cluster.gossip_rejoins", 1)
+			changed = true
+		}
+		ph.state = PeerAlive
+	case !up && ph.state == PeerAlive:
+		ph.state = PeerSuspect
+		ph.suspectedAt = now
+		g.obs.Count("cluster.gossip_suspects", 1)
+	case !up && ph.state == PeerSuspect && now.Sub(ph.suspectedAt) >= g.cfg.SuspectAfter:
+		ph.state = PeerDead
+		g.obs.Count("cluster.gossip_deaths", 1)
+		changed = true
+	}
+	var alive []string
+	if changed {
+		alive = g.aliveLocked()
+	}
+	g.mu.Unlock()
+
+	if changed {
+		g.obs.Gauge("cluster.members", float64(len(alive)))
+		if g.cfg.OnChange != nil {
+			g.cfg.OnChange(alive)
+		}
+	}
+}
+
+// expireLocked promotes overdue suspicions to death. Suspicion only ages
+// out here — on the round's clock — so a fake-clock test can script the
+// exact tick at which a peer dies.
+func (g *Gossip) expireLocked(now time.Time) bool {
+	changed := false
+	for _, addr := range g.order {
+		ph := g.peers[addr]
+		if ph.state == PeerSuspect && now.Sub(ph.suspectedAt) >= g.cfg.SuspectAfter {
+			ph.state = PeerDead
+			g.obs.Count("cluster.gossip_deaths", 1)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// probe health-checks target: direct first, then through each relay until
+// one confirms. Any success means the target is up.
+func (g *Gossip) probe(ctx context.Context, target string, relays []string) bool {
+	g.obs.Count("cluster.gossip_probes", 1)
+	pctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+	err := g.cfg.Probe(pctx, target)
+	cancel()
+	if err == nil {
+		return true
+	}
+	if g.cfg.IndirectProbe == nil {
+		return false
+	}
+	for _, via := range relays {
+		g.obs.Count("cluster.gossip_indirect_probes", 1)
+		pctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+		err := g.cfg.IndirectProbe(pctx, via, target)
+		cancel()
+		if err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Run drives protocol rounds at the configured cadence until ctx is
+// cancelled — the production loop behind swappd's -gossip-interval flag.
+func (g *Gossip) Run(ctx context.Context) {
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			g.Tick(ctx)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeGossipNet scripts probe outcomes per target address and records the
+// probes the detector issued, so each test is a pure table of rounds.
+type fakeGossipNet struct {
+	down     map[string]bool
+	probes   []string        // "direct:addr" / "indirect:via>target"
+	linkDown map[string]bool // direct-path-only failures (indirect still works)
+}
+
+func (f *fakeGossipNet) probe(_ context.Context, addr string) error {
+	f.probes = append(f.probes, "direct:"+addr)
+	if f.down[addr] || f.linkDown[addr] {
+		return errors.New("unreachable")
+	}
+	return nil
+}
+
+func (f *fakeGossipNet) indirect(_ context.Context, via, target string) error {
+	f.probes = append(f.probes, fmt.Sprintf("indirect:%s>%s", via, target))
+	if f.down[via] || f.down[target] {
+		return errors.New("unreachable")
+	}
+	return nil
+}
+
+// fakeClock is a settable protocol clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestGossip(t *testing.T, net *fakeGossipNet, clock *fakeClock, onChange func([]string)) *Gossip {
+	t.Helper()
+	return NewGossip(GossipConfig{
+		Self:          "self",
+		Peers:         []string{"b", "c"},
+		ProbeInterval: time.Second,
+		SuspectAfter:  3 * time.Second,
+		IndirectPeers: 1,
+		Now:           clock.now,
+		Probe:         net.probe,
+		IndirectProbe: net.indirect,
+		OnChange:      onChange,
+	})
+}
+
+// TestGossipStateTransitions walks one peer through the full lifecycle —
+// alive → suspect → (still suspect inside the grace window) → dead →
+// rejoin — on a fake clock, asserting the state and the alive view at
+// every step.
+func TestGossipStateTransitions(t *testing.T) {
+	net := &fakeGossipNet{down: map[string]bool{}}
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	var changes [][]string
+	g := newTestGossip(t, net, clock, func(alive []string) {
+		changes = append(changes, alive)
+	})
+	ctx := context.Background()
+
+	if got := g.Alive(); !reflect.DeepEqual(got, []string{"b", "c", "self"}) {
+		t.Fatalf("initial alive view = %v", got)
+	}
+
+	// Healthy rounds: everyone stays alive, nothing changes.
+	g.Tick(ctx) // probes b
+	g.Tick(ctx) // probes c
+	if len(changes) != 0 {
+		t.Fatalf("healthy rounds produced %d membership changes", len(changes))
+	}
+
+	// b dies. Its next probe round (direct + indirect both fail) suspects
+	// it — but suspicion is not eviction: the alive view is unchanged.
+	net.down["b"] = true
+	clock.advance(time.Second)
+	g.Tick(ctx) // probes b: suspect
+	if st := g.State("b"); st != PeerSuspect {
+		t.Fatalf("after failed round, state(b) = %v, want suspect", st)
+	}
+	if got := g.Alive(); !reflect.DeepEqual(got, []string{"b", "c", "self"}) {
+		t.Fatalf("suspect peer evicted early: alive = %v", got)
+	}
+	if len(changes) != 0 {
+		t.Fatalf("suspicion alone changed membership: %v", changes)
+	}
+
+	// Inside the grace window the suspicion holds but does not kill.
+	clock.advance(time.Second)
+	g.Tick(ctx) // probes c (healthy)
+	if st := g.State("b"); st != PeerSuspect {
+		t.Fatalf("inside grace window, state(b) = %v, want suspect", st)
+	}
+
+	// Once SuspectAfter has elapsed, the next round declares b dead and the
+	// alive view shrinks — exactly one change, delivered via OnChange.
+	clock.advance(2 * time.Second)
+	g.Tick(ctx)
+	if st := g.State("b"); st != PeerDead {
+		t.Fatalf("past grace window, state(b) = %v, want dead", st)
+	}
+	if want := []string{"c", "self"}; !reflect.DeepEqual(g.Alive(), want) {
+		t.Fatalf("after death, alive = %v, want %v", g.Alive(), want)
+	}
+	if len(changes) != 1 || !reflect.DeepEqual(changes[0], []string{"c", "self"}) {
+		t.Fatalf("death change stream = %v, want exactly [[c self]]", changes)
+	}
+
+	// b restarts. Dead peers stay in the probe rotation, so its next round
+	// revives it — one more change, back to the full membership.
+	net.down["b"] = false
+	for g.State("b") != PeerAlive {
+		clock.advance(time.Second)
+		g.Tick(ctx)
+	}
+	if want := []string{"b", "c", "self"}; !reflect.DeepEqual(g.Alive(), want) {
+		t.Fatalf("after rejoin, alive = %v, want %v", g.Alive(), want)
+	}
+	if len(changes) != 2 || !reflect.DeepEqual(changes[1], []string{"b", "c", "self"}) {
+		t.Fatalf("rejoin change stream = %v", changes)
+	}
+}
+
+// TestGossipIndirectProbeRescues proves a broken direct link does not kill
+// a healthy peer: the direct probe fails, the indirect relay confirms the
+// target is up, and the peer never even turns suspect.
+func TestGossipIndirectProbeRescues(t *testing.T) {
+	net := &fakeGossipNet{down: map[string]bool{}, linkDown: map[string]bool{"b": true}}
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	g := newTestGossip(t, net, clock, func([]string) {
+		t.Error("membership changed for a peer reachable indirectly")
+	})
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		g.Tick(ctx)
+		clock.advance(time.Second)
+	}
+	if st := g.State("b"); st != PeerAlive {
+		t.Fatalf("indirectly-confirmed peer state = %v, want alive", st)
+	}
+	// The detector really did fall back to the relay.
+	found := false
+	for _, p := range net.probes {
+		if p == "indirect:c>b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no indirect probe issued; probes = %v", net.probes)
+	}
+}
+
+// TestGossipSuspectRecovers proves a transient outage shorter than
+// SuspectAfter never reaches the dead state: suspect, then back to alive on
+// the next successful probe, with no membership change at any point.
+func TestGossipSuspectRecovers(t *testing.T) {
+	net := &fakeGossipNet{down: map[string]bool{"b": true}}
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	g := newTestGossip(t, net, clock, func(alive []string) {
+		t.Errorf("transient outage changed membership: %v", alive)
+	})
+	ctx := context.Background()
+	g.Tick(ctx) // b: suspect
+	if st := g.State("b"); st != PeerSuspect {
+		t.Fatalf("state(b) = %v, want suspect", st)
+	}
+	net.down["b"] = false
+	clock.advance(time.Second)
+	g.Tick(ctx) // c
+	clock.advance(time.Second)
+	g.Tick(ctx) // b again: alive
+	if st := g.State("b"); st != PeerAlive {
+		t.Fatalf("recovered peer state = %v, want alive", st)
+	}
+}
+
+// TestGossipMetrics pins the counter stream for one scripted
+// death-and-rejoin: probes every round, one suspicion, one death, one
+// rejoin, and a members gauge that tracks the alive view.
+func TestGossipMetrics(t *testing.T) {
+	scope := obs.New("test")
+	defer scope.End()
+	net := &fakeGossipNet{down: map[string]bool{"b": true}}
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	g := NewGossip(GossipConfig{
+		Self: "self", Peers: []string{"b"},
+		ProbeInterval: time.Second, SuspectAfter: 2 * time.Second,
+		Now: clock.now, Probe: net.probe, IndirectProbe: net.indirect,
+		Obs: scope,
+	})
+	ctx := context.Background()
+	g.Tick(ctx) // suspect
+	clock.advance(2 * time.Second)
+	g.Tick(ctx) // dead
+	net.down["b"] = false
+	clock.advance(time.Second)
+	g.Tick(ctx) // rejoin
+	counter := func(name string) int64 {
+		v, _ := scope.Metrics().Counter(name)
+		return v
+	}
+	if n := counter("cluster.gossip_suspects"); n != 1 {
+		t.Errorf("gossip_suspects = %d, want 1", n)
+	}
+	if n := counter("cluster.gossip_deaths"); n != 1 {
+		t.Errorf("gossip_deaths = %d, want 1", n)
+	}
+	if n := counter("cluster.gossip_rejoins"); n != 1 {
+		t.Errorf("gossip_rejoins = %d, want 1", n)
+	}
+	if n := counter("cluster.gossip_probes"); n != 3 {
+		t.Errorf("gossip_probes = %d, want 3", n)
+	}
+}

@@ -19,6 +19,10 @@ const (
 	JobRunning JobState = "running"
 	JobDone    JobState = "done"
 	JobFailed  JobState = "failed"
+	// JobHandedOff marks a job cancelled by a draining replica after its
+	// checkpoint was shipped to the group's new owner: finished here,
+	// resumed elsewhere.
+	JobHandedOff JobState = "handed_off"
 )
 
 // Snapshot is one per-generation progress observation from a running GA
@@ -141,12 +145,21 @@ func NewManager(cfg ManagerConfig) *Manager {
 type Job struct {
 	ID string
 	Op string
+	// Group is the job's (base, target) routing key and Payload its
+	// original submission body — together the material a draining replica
+	// ships so the group's new owner can resubmit the job verbatim.
+	Group   string
+	Payload []byte
 
 	mu         sync.Mutex
 	state      JobState
 	history    []Snapshot
 	snapshots  int               // total observed, including evicted
 	checkpoint map[int][]float64 // member → newest best genome
+	preSeeded  bool              // checkpoint preloaded at submit (adopted handoff)
+	handedOff  bool              // drained: finish as JobHandedOff, never resume here
+	handoffTo  string            // replica the checkpoint was shipped to
+	cancel     context.CancelFunc
 	attempts   int
 	resumed    bool
 	result     []byte
@@ -171,12 +184,31 @@ type JobStatus struct {
 	// HasResult reports a retrievable result document (see the manager's
 	// Result accessor); the document itself is served by the jobs API.
 	HasResult bool `json:"has_result"`
+	// HandoffTarget names the replica a handed-off job's checkpoint was
+	// shipped to — the place to poll for the resumed search.
+	HandoffTarget string `json:"handoff_target,omitempty"`
+}
+
+// JobSpec describes one submission beyond its op: the routing group and
+// original payload (handoff material), and optional preloaded checkpoint
+// seeds — an adopted handoff resumes from them on its very first attempt
+// instead of restarting the search.
+type JobSpec struct {
+	Op      string
+	Group   string
+	Payload []byte
+	Seeds   [][]float64
 }
 
 // Submit enqueues one evaluation and returns its job immediately. The
 // evaluation runs in the background: queued until a slot frees, resumed
 // from its checkpoint on failure, finished exactly once.
 func (m *Manager) Submit(op string, run RunFunc) (*Job, error) {
+	return m.SubmitJob(JobSpec{Op: op}, run)
+}
+
+// SubmitJob is Submit with full job metadata (see JobSpec).
+func (m *Manager) SubmitJob(spec JobSpec, run RunFunc) (*Job, error) {
 	if m.closing.Load() {
 		return nil, ErrJobQueueFull
 	}
@@ -186,11 +218,19 @@ func (m *Manager) Submit(op string, run RunFunc) (*Job, error) {
 	}
 	j := &Job{
 		ID:         fmt.Sprintf("job-%d", m.nextID.Add(1)),
-		Op:         op,
+		Op:         spec.Op,
+		Group:      spec.Group,
+		Payload:    spec.Payload,
 		state:      JobQueued,
 		checkpoint: map[int][]float64{},
 		done:       make(chan struct{}),
 		subs:       map[int]chan Event{},
+	}
+	for i, s := range spec.Seeds {
+		if len(s) > 0 {
+			j.checkpoint[i] = append([]float64(nil), s...)
+			j.preSeeded = true
+		}
 	}
 	m.mu.Lock()
 	m.jobs[j.ID] = j
@@ -211,7 +251,7 @@ func (m *Manager) evictLocked() {
 		for i, id := range m.order {
 			j := m.jobs[id]
 			j.mu.Lock()
-			finished := j.state == JobDone || j.state == JobFailed
+			finished := j.state == JobDone || j.state == JobFailed || j.state == JobHandedOff
 			j.mu.Unlock()
 			if finished {
 				delete(m.jobs, id)
@@ -245,7 +285,16 @@ func (m *Manager) execute(j *Job, run RunFunc) {
 	defer cancel()
 
 	j.mu.Lock()
+	if j.handedOff {
+		// Drained while still queued: the checkpoint (empty or preloaded)
+		// has been shipped; never start the attempt here.
+		j.mu.Unlock()
+		m.finish(j, nil, context.Canceled)
+		return
+	}
+	j.cancel = cancel
 	j.state = JobRunning
+	preSeeded := j.preSeeded
 	j.mu.Unlock()
 
 	progress := func(s Snapshot) { m.record(j, s) }
@@ -253,7 +302,9 @@ func (m *Manager) execute(j *Job, run RunFunc) {
 	var err error
 	for attempt := 0; ; attempt++ {
 		var seeds [][]float64
-		if attempt > 0 {
+		if attempt > 0 || preSeeded {
+			// Resume attempts — and adopted handoffs on their first
+			// attempt — search from the newest checkpoint genomes.
 			seeds = j.checkpointSeeds()
 		}
 		j.mu.Lock()
@@ -263,24 +314,42 @@ func (m *Manager) execute(j *Job, run RunFunc) {
 		}
 		j.mu.Unlock()
 		result, err = m.attempt(ctx, run, seeds, progress)
-		if err == nil || attempt >= m.cfg.MaxResumes || ctx.Err() != nil {
+		if err == nil || attempt >= m.cfg.MaxResumes || ctx.Err() != nil || j.isHandedOff() {
 			break
 		}
 		m.obs.Count("jobs.resumed", 1)
 	}
+	m.finish(j, result, err)
+}
 
+// isHandedOff reports whether the job was drained for handoff.
+func (j *Job) isHandedOff() bool {
 	j.mu.Lock()
-	if err != nil {
+	defer j.mu.Unlock()
+	return j.handedOff
+}
+
+// finish publishes a job's terminal state and releases every subscriber.
+func (m *Manager) finish(j *Job, result []byte, err error) {
+	j.mu.Lock()
+	switch {
+	case j.handedOff:
+		// The handoff wins even over a result that raced the cancellation:
+		// the new owner recomputes deterministically, and two authorities
+		// for one job would be worse than none.
+		j.state = JobHandedOff
+	case err != nil:
 		j.state = JobFailed
 		j.errMsg = err.Error()
-	} else {
+	default:
 		j.state = JobDone
 		j.result = result
 	}
 	// All subscriber sends and closes happen under j.mu (non-blocking on
 	// buffered channels), so a concurrent Subscribe can never observe a
 	// half-closed stream.
-	done := Event{Type: "done", State: j.state}
+	state := j.state
+	done := Event{Type: "done", State: state}
 	for _, ch := range j.subs {
 		// A full channel is a slow consumer; it gets the done event
 		// best-effort before close.
@@ -293,9 +362,12 @@ func (m *Manager) execute(j *Job, run RunFunc) {
 	j.subs = map[int]chan Event{}
 	j.mu.Unlock()
 
-	if err != nil {
+	switch state {
+	case JobHandedOff:
+		m.obs.Count("jobs.handed_off", 1)
+	case JobFailed:
 		m.obs.Count("jobs.failed", 1)
-	} else {
+	default:
 		m.obs.Count("jobs.completed", 1)
 	}
 	close(j.done)
@@ -341,6 +413,10 @@ func (m *Manager) record(j *Job, s Snapshot) {
 func (j *Job) checkpointSeeds() [][]float64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.checkpointSeedsLocked()
+}
+
+func (j *Job) checkpointSeedsLocked() [][]float64 {
 	members := make([]int, 0, len(j.checkpoint))
 	for m := range j.checkpoint {
 		members = append(members, m)
@@ -377,7 +453,8 @@ func (j *Job) Status() JobStatus {
 		ID: j.ID, Op: j.Op, State: j.state,
 		Attempts: j.attempts, Resumed: j.resumed,
 		Snapshots: j.snapshots, Error: j.errMsg,
-		HasResult: j.result != nil,
+		HasResult:     j.result != nil,
+		HandoffTarget: j.handoffTo,
 	}
 	st.Progress = append(st.Progress, j.history...)
 	return st
@@ -404,7 +481,7 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 func (j *Job) Subscribe() (<-chan Event, func()) {
 	j.mu.Lock()
 	replay := append([]Snapshot(nil), j.history...)
-	finished := j.state == JobDone || j.state == JobFailed
+	finished := j.state == JobDone || j.state == JobFailed || j.state == JobHandedOff
 	ch := make(chan Event, len(replay)+64)
 	for i := range replay {
 		ch <- Event{Type: "progress", Snapshot: &replay[i]}
@@ -432,3 +509,67 @@ func (j *Job) Subscribe() (<-chan Event, func()) {
 
 // Close stops accepting submissions. Running jobs finish on their own.
 func (m *Manager) Close() { m.closing.Store(true) }
+
+// Handoff is one drained job's transferable state: everything the group's
+// new owner needs to resubmit the search and resume it from the newest
+// checkpoint instead of generation zero.
+type Handoff struct {
+	ID      string      `json:"id"`
+	Op      string      `json:"op"`
+	Group   string      `json:"group,omitempty"`
+	Payload []byte      `json:"payload,omitempty"`
+	Seeds   [][]float64 `json:"seeds,omitempty"`
+}
+
+// DrainForHandoff prepares the manager for shutdown: submissions stop,
+// every unfinished job is cancelled and marked handed off, and its
+// transferable state — op, original payload, newest checkpoint seeds — is
+// returned for the serving layer to ship to each group's new owner.
+// Finished jobs are untouched; calling twice returns nothing the second
+// time.
+func (m *Manager) DrainForHandoff() []Handoff {
+	m.closing.Store(true)
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	var out []Handoff
+	for _, id := range ids {
+		m.mu.Lock()
+		j := m.jobs[id]
+		m.mu.Unlock()
+		if j == nil {
+			continue
+		}
+		j.mu.Lock()
+		if j.handedOff || (j.state != JobQueued && j.state != JobRunning) {
+			j.mu.Unlock()
+			continue
+		}
+		j.handedOff = true
+		cancel := j.cancel
+		out = append(out, Handoff{
+			ID: j.ID, Op: j.Op, Group: j.Group,
+			Payload: append([]byte(nil), j.Payload...),
+			Seeds:   j.checkpointSeedsLocked(),
+		})
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	return out
+}
+
+// MarkHandoffTarget records where a drained job's checkpoint was shipped,
+// for the status document's handoff_target field.
+func (m *Manager) MarkHandoffTarget(id, target string) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.handoffTo = target
+	j.mu.Unlock()
+}

@@ -112,6 +112,26 @@ func (r *Ring) Owner(key string) string {
 	return r.points[i].node
 }
 
+// NextOwner returns the node that would own key if excluding were removed
+// from the ring: the first ring point at or after the key's hash whose node
+// differs from excluding, wrapping. It is the replication successor — the
+// replica that inherits a group when its owner dies — and is "" when the
+// ring holds no other node.
+func (r *Ring) NextOwner(key, excluding string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for k := 0; k < len(r.points); k++ {
+		p := r.points[(start+k)%len(r.points)]
+		if p.node != excluding {
+			return p.node
+		}
+	}
+	return ""
+}
+
 // Nodes returns the ring's membership, sorted.
 func (r *Ring) Nodes() []string {
 	return append([]string(nil), r.nodes...)

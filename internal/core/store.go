@@ -3,6 +3,8 @@ package core
 import (
 	"container/list"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -58,6 +60,10 @@ type Store struct {
 	profiles  *layer
 	surrogate *layer
 
+	// artifacts is the replication vault: rendered result bytes pushed by
+	// ring peers, keyed and checksummed so a double push is a no-op.
+	artifacts *artifactVault
+
 	// warmIdx indexes the surrogate layer's keys by (base, app, target)
 	// group for the GA warm-start's nearest-neighbour seed lookup.
 	warmIdx warmIndex
@@ -72,6 +78,9 @@ type StoreConfig struct {
 	CharacterisationCap int
 	ProfileCap          int
 	SurrogateCap        int
+	// ArtifactCap bounds the replication vault, in entries (default 1024).
+	// A vault entry is one rendered result body replicated from a ring peer.
+	ArtifactCap int
 	// Obs receives the per-layer counters and size gauges
 	// (<prefix>.characterisation_hits / _misses / _size, likewise for
 	// profile and surrogate). nil disables metrics, not the store.
@@ -93,6 +102,9 @@ func NewStore(cfg StoreConfig) *Store {
 	if cfg.SurrogateCap <= 0 {
 		cfg.SurrogateCap = 512
 	}
+	if cfg.ArtifactCap <= 0 {
+		cfg.ArtifactCap = 1024
+	}
 	prefix := cfg.MetricPrefix
 	if prefix == "" {
 		prefix = "core.store"
@@ -101,6 +113,7 @@ func NewStore(cfg StoreConfig) *Store {
 		chars:     newLayer(prefix+".characterisation", cfg.CharacterisationCap, cfg.Obs),
 		profiles:  newLayer(prefix+".profile", cfg.ProfileCap, cfg.Obs),
 		surrogate: newLayer(prefix+".surrogate", cfg.SurrogateCap, cfg.Obs),
+		artifacts: newArtifactVault(prefix+".artifact", cfg.ArtifactCap, cfg.Obs),
 	}
 	s.surrogate.onEvict = s.warmIdx.remove
 	return s
@@ -424,4 +437,165 @@ func (s *Store) DebugKeys(layerName string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Artifact is one replication-vault entry exported for transfer: the vault
+// key, the hex sha256 of Body, and the rendered result bytes themselves.
+// Replicating rendered bytes (not decoded Go objects) is what keeps the
+// byte-identity invariant trivially true on the serving path: the successor
+// writes exactly what the dead owner would have written.
+type Artifact struct {
+	Key  string `json:"key"`
+	Sum  string `json:"sum"`
+	Body []byte `json:"body"`
+}
+
+// PutArtifact stores body under key in the replication vault. The vault is
+// content-addressed: a re-push of the same key with the same bytes is a
+// no-op counted as <prefix>.artifact_dups — neither the size gauge nor the
+// LRU order moves, which is what makes the owner's push retry-safe. A key
+// colliding with different bytes (possible only across incompatible
+// builds) overwrites and is counted as artifact_conflicts. Returns whether
+// the put changed the vault.
+func (s *Store) PutArtifact(key string, body []byte) bool {
+	if s == nil {
+		return false
+	}
+	return s.artifacts.put(key, body)
+}
+
+// GetArtifact returns the vault bytes for key. The returned slice is the
+// stored one and must be treated as immutable.
+func (s *Store) GetArtifact(key string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	return s.artifacts.get(key)
+}
+
+// ExportArtifacts snapshots the whole vault, oldest first, for transfer to
+// another replica (the drain path ships it alongside job checkpoints).
+func (s *Store) ExportArtifacts() []Artifact {
+	if s == nil {
+		return nil
+	}
+	return s.artifacts.export()
+}
+
+// ImportArtifact verifies sumHex against the body and stores it; a
+// mismatch is rejected (counted as artifact_rejects) so a corrupted
+// transfer can never poison the serving path. Returns whether the import
+// changed the vault.
+func (s *Store) ImportArtifact(a Artifact) (bool, error) {
+	if s == nil {
+		return false, nil
+	}
+	return s.artifacts.importOne(a)
+}
+
+// ArtifactCount reports the vault's entry count (diagnostics, tests).
+func (s *Store) ArtifactCount() int {
+	if s == nil {
+		return 0
+	}
+	return s.artifacts.len()
+}
+
+// artifactVault is the content-addressed byte store behind peer
+// replication: an LRU of (key, sha256, body) entries. Unlike the layers it
+// has no fill machinery — entries arrive whole over the wire.
+type artifactVault struct {
+	name string
+	obs  *obs.Scope
+
+	mu      sync.Mutex
+	max     int
+	ll      *list.List               // front = most recently used
+	entries map[string]*list.Element // element value is *vaultEntry
+}
+
+type vaultEntry struct {
+	key  string
+	sum  [sha256.Size]byte
+	body []byte
+}
+
+func newArtifactVault(name string, max int, scope *obs.Scope) *artifactVault {
+	return &artifactVault{
+		name:    name,
+		obs:     scope,
+		max:     max,
+		ll:      list.New(),
+		entries: map[string]*list.Element{},
+	}
+}
+
+func (v *artifactVault) put(key string, body []byte) bool {
+	sum := sha256.Sum256(body)
+	v.mu.Lock()
+	if el, ok := v.entries[key]; ok {
+		e := el.Value.(*vaultEntry)
+		if e.sum == sum {
+			v.mu.Unlock()
+			v.obs.Count(v.name+"_dups", 1)
+			return false
+		}
+		e.sum, e.body = sum, append([]byte(nil), body...)
+		v.ll.MoveToFront(el)
+		v.mu.Unlock()
+		v.obs.Count(v.name+"_conflicts", 1)
+		return true
+	}
+	v.entries[key] = v.ll.PushFront(&vaultEntry{key: key, sum: sum, body: append([]byte(nil), body...)})
+	for v.ll.Len() > v.max {
+		oldest := v.ll.Back()
+		v.ll.Remove(oldest)
+		delete(v.entries, oldest.Value.(*vaultEntry).key)
+	}
+	size := v.ll.Len()
+	v.mu.Unlock()
+	v.obs.Count(v.name+"_stores", 1)
+	v.obs.Gauge(v.name+"_size", float64(size))
+	return true
+}
+
+func (v *artifactVault) get(key string) ([]byte, bool) {
+	v.mu.Lock()
+	el, ok := v.entries[key]
+	if !ok {
+		v.mu.Unlock()
+		v.obs.Count(v.name+"_misses", 1)
+		return nil, false
+	}
+	v.ll.MoveToFront(el)
+	body := el.Value.(*vaultEntry).body
+	v.mu.Unlock()
+	v.obs.Count(v.name+"_hits", 1)
+	return body, true
+}
+
+func (v *artifactVault) export() []Artifact {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]Artifact, 0, v.ll.Len())
+	for el := v.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*vaultEntry)
+		out = append(out, Artifact{Key: e.key, Sum: hex.EncodeToString(e.sum[:]), Body: e.body})
+	}
+	return out
+}
+
+func (v *artifactVault) importOne(a Artifact) (bool, error) {
+	sum := sha256.Sum256(a.Body)
+	if a.Sum != "" && a.Sum != hex.EncodeToString(sum[:]) {
+		v.obs.Count(v.name+"_rejects", 1)
+		return false, fmt.Errorf("artifact %q checksum mismatch", a.Key)
+	}
+	return v.put(a.Key, a.Body), nil
+}
+
+func (v *artifactVault) len() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.ll.Len()
 }

@@ -177,6 +177,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // semantics: same cache key, same rendered bytes, same error statuses.
 func (s *Server) runBatchItem(parent context.Context, wk batchWork) batchEntry {
 	key := digest(wk.spec.op, wk.req, s.cfg.WarmStart)
+	// Warm failover, same order as the single endpoints: a replicated
+	// result from a (possibly dead) owner serves before any computation.
+	if body, ok := s.replicaBytes(key, wk.spec.endpoint); ok {
+		return batchEntry{Index: wk.idx, Status: http.StatusOK, Body: json.RawMessage(bytes.TrimSuffix(body, []byte("\n")))}
+	}
 	ctx, cancel := context.WithTimeout(parent, s.timeoutFor(wk.body))
 	defer cancel()
 	res, hit, err := s.evaluate(ctx, wk.spec.op, key, wk.req)
@@ -193,6 +198,9 @@ func (s *Server) runBatchItem(parent context.Context, wk batchWork) batchEntry {
 	if err != nil {
 		s.obs.Count("server.errors", 1)
 		return batchEntry{Index: wk.idx, Status: http.StatusInternalServerError, Error: err.Error()}
+	}
+	if !hit {
+		s.maybeReplicate(key, wk.spec.ep, wk.spec.endpoint, res, wk.req, wk.spec.render)
 	}
 	// The endpoints terminate their documents with '\n'; embedded JSON
 	// cannot carry it, so entries hold the document body alone.

@@ -38,6 +38,9 @@ type Client struct {
 	// Sleep waits between attempts (default a context-aware sleep).
 	// Injectable for tests.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Now is the clock used to convert an HTTP-date Retry-After into a
+	// delay (default time.Now). Injectable for tests.
+	Now func() time.Time
 	// breaker, when non-nil, short-circuits calls to a destination that
 	// keeps failing: while open, Do-style methods fail fast with a
 	// breakerOpenError instead of attempting the network at all, until the
@@ -137,8 +140,11 @@ func (c *Client) postRawAttempts(ctx context.Context, path string, payload []byt
 			}
 		}
 
-		resp, err := httpc.Do(hreq)
+		// retryAfter is THIS attempt's server hint only. It must reset every
+		// iteration: a hint carried over from an earlier 503 would inflate
+		// every later wait even after the server stopped asking for it.
 		var retryAfter time.Duration
+		resp, err := httpc.Do(hreq)
 		switch {
 		case err != nil:
 			if ctx.Err() != nil {
@@ -152,7 +158,8 @@ func (c *Client) postRawAttempts(ctx context.Context, path string, payload []byt
 				lastErr = rerr
 				break
 			}
-			if resp.StatusCode == http.StatusOK {
+			// Any 2xx is success: /v1/jobs/handoff answers 202 Accepted.
+			if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 				return body, resp.Header, nil
 			}
 			apiErr := &APIError{Status: resp.StatusCode, Message: errorMessage(body)}
@@ -160,9 +167,7 @@ func (c *Client) postRawAttempts(ctx context.Context, path string, payload []byt
 				return nil, nil, apiErr
 			}
 			lastErr = apiErr
-			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-				retryAfter = time.Duration(secs) * time.Second
-			}
+			retryAfter = c.retryAfterHint(resp.Header.Get("Retry-After"))
 		}
 		if attempt >= retries {
 			return nil, nil, lastErr
@@ -175,6 +180,35 @@ func (c *Client) postRawAttempts(ctx context.Context, path string, payload []byt
 			return nil, nil, err
 		}
 	}
+}
+
+// retryAfterHint parses a Retry-After header value into a delay. RFC 9110
+// §10.2.3 allows two forms: delay-seconds ("120") and an HTTP-date ("Fri,
+// 07 Aug 2026 12:00:00 GMT"), which is converted to a delay against the
+// injected clock. Unparseable values and dates at-or-before now yield 0 —
+// the caller falls back to its own backoff, never stalls on a bad hint.
+func (c *Client) retryAfterHint(value string) time.Duration {
+	if value == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(value); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	when, err := http.ParseTime(value)
+	if err != nil {
+		return 0
+	}
+	now := time.Now
+	if c.Now != nil {
+		now = c.Now
+	}
+	if d := when.Sub(now()); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // backoff computes the jittered exponential delay before retry attempt+1.

@@ -1,0 +1,395 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	swapp "repro"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// newGossipCluster starts n peer-wired replicas running the SWIM detector
+// at test cadence: membership changes land in tens of milliseconds instead
+// of seconds, which keeps the kill-failover tests fast and deterministic.
+func newGossipCluster(t *testing.T, n int) []*clusterReplica {
+	t.Helper()
+	clock := &testClock{}
+	reps := make([]*clusterReplica, n)
+	urls := make([]string, n)
+	for i := range reps {
+		reps[i] = &clusterReplica{}
+		ts := httptest.NewServer(reps[i])
+		t.Cleanup(ts.Close)
+		reps[i].url = ts.URL
+		urls[i] = ts.URL
+	}
+	for i, rep := range reps {
+		peers := make([]string, 0, n-1)
+		for k, u := range urls {
+			if k != i {
+				peers = append(peers, u)
+			}
+		}
+		rep.eval = &groupedEval{}
+		rep.scope = obs.New("test")
+		rep.srv = New(Config{Workers: 4, Obs: rep.scope, Eval: rep.eval.fn,
+			Self: rep.url, Peers: peers, nowFn: clock.now,
+			GossipInterval:     20 * time.Millisecond,
+			GossipProbeTimeout: 10 * time.Millisecond,
+			GossipSuspectAfter: 60 * time.Millisecond,
+		})
+		// Close stops the gossip loop; cleanups run LIFO so every loop dies
+		// before its listener does.
+		t.Cleanup(rep.srv.Close)
+		rep.handler.Store(rep.srv.Handler())
+	}
+	return reps
+}
+
+// groupKeyOf resolves a request body's routing group key the way every
+// replica does.
+func groupKeyOf(t *testing.T, body string) string {
+	t.Helper()
+	var api APIRequest
+	if err := json.Unmarshal([]byte(body), &api); err != nil {
+		t.Fatal(err)
+	}
+	req, err := evalRequest(api)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster.GroupKey(req.Base, req.Target)
+}
+
+// byURL finds the replica serving url.
+func byURL(t *testing.T, reps []*clusterReplica, url string) *clusterReplica {
+	t.Helper()
+	for _, rep := range reps {
+		if rep.url == url {
+			return rep
+		}
+	}
+	t.Fatalf("no replica at %s", url)
+	return nil
+}
+
+// awaitMembershipWithout polls a replica's routing view until addr has been
+// gossiped out of it.
+func awaitMembershipWithout(t *testing.T, rep *clusterReplica, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		evicted := true
+		for _, m := range rep.srv.Membership() {
+			if m == addr {
+				evicted = false
+			}
+		}
+		if evicted {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gossip never evicted %s from %s's view: %v", addr, rep.url, rep.srv.Membership())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterWarmFailoverReplicaServes is the tentpole's proof: an owner
+// computes a result and replicates the rendered bytes to its ring
+// successor; the owner dies; gossip evicts it from the survivors' rings;
+// and the successor — now the group's owner — serves the replicated bytes
+// byte-identically without recomputing, from either entry point.
+func TestClusterWarmFailoverReplicaServes(t *testing.T) {
+	reps := newGossipCluster(t, 3)
+	body := `{"target":"power6-575","bench":"BT-MZ","class":"C","ranks":16}`
+	gk := groupKeyOf(t, body)
+	urls := make([]string, len(reps))
+	for i, rep := range reps {
+		urls[i] = rep.url
+	}
+	ring := cluster.NewRing(urls)
+	owner := byURL(t, reps, ring.Owner(gk))
+	succ := byURL(t, reps, ring.NextOwner(gk, owner.url))
+	var third *clusterReplica
+	for _, rep := range reps {
+		if rep != owner && rep != succ {
+			third = rep
+		}
+	}
+
+	// Warm phase: the owner computes and pushes the rendered bytes to its
+	// successor in the background; join the push before pulling the plug.
+	code, _, reference := post(t, owner.url+"/v1/project", body)
+	if code != 200 {
+		t.Fatalf("warm request status = %d: %s", code, reference)
+	}
+	owner.srv.WaitReplication()
+	if counter(owner.scope, "cluster.replica_pushes") != 1 {
+		t.Fatalf("owner pushed %d replicas, want 1 (fails: %d)",
+			counter(owner.scope, "cluster.replica_pushes"), counter(owner.scope, "cluster.replica_push_fails"))
+	}
+	if counter(succ.scope, "cluster.replica_stores") != 1 {
+		t.Fatal("successor stored no replica")
+	}
+
+	// Kill the owner at the transport and wait for both survivors' gossip
+	// to gossip it out of their rings.
+	owner.killed.Store(true)
+	awaitMembershipWithout(t, succ, owner.url)
+	awaitMembershipWithout(t, third, owner.url)
+
+	// The successor inherits the group and answers warm: the dead owner's
+	// exact bytes, no evaluation.
+	code, hdr, out := post(t, succ.url+"/v1/project", body)
+	if code != 200 {
+		t.Fatalf("failover request status = %d: %s", code, out)
+	}
+	if !bytes.Equal(out, reference) {
+		t.Errorf("successor served different bytes than the dead owner:\nowner:     %s\nsuccessor: %s", reference, out)
+	}
+	if xc := hdr.Get("X-Cache"); xc != "replica" {
+		t.Errorf("successor X-Cache = %q, want \"replica\"", xc)
+	}
+
+	// Entering through the third replica forwards to the successor and gets
+	// the same bytes.
+	code, hdr, out = post(t, third.url+"/v1/project", body)
+	if code != 200 {
+		t.Fatalf("forwarded failover request status = %d: %s", code, out)
+	}
+	if !bytes.Equal(out, reference) {
+		t.Error("third replica relayed different bytes than the dead owner computed")
+	}
+	if p := hdr.Get(peerHeader); p != succ.url {
+		t.Errorf("third replica forwarded to %q, want successor %q", p, succ.url)
+	}
+
+	if n := counter(succ.scope, "cluster.replica_hits"); n < 1 {
+		t.Errorf("cluster.replica_hits = %d, want >= 1", n)
+	}
+	if n := succ.eval.calls.Load() + third.eval.calls.Load(); n != 0 {
+		t.Errorf("survivors ran %d evaluations; warm failover should run none", n)
+	}
+}
+
+// TestClusterJobHandoffResumesElsewhere drains a replica mid-search the way
+// SIGTERM does: the blocked job's newest checkpoint genomes ship to the
+// group's ring owner, whose adopted job resumes from exactly those seeds
+// via the ResumeSeeds path — not from generation zero.
+func TestClusterJobHandoffResumesElsewhere(t *testing.T) {
+	started := make(chan struct{}, 1)
+	adopted := make(chan [][]float64, 1)
+	// First attempt: emit one checkpoint snapshot, then hold the search
+	// until the drain cancels it. Resumed attempt (non-empty seeds): record
+	// what the GA would have been seeded with and finish.
+	evalFn := func(ctx context.Context, op string, req swapp.Request) (*swapp.Result, error) {
+		if len(req.ResumeSeeds) > 0 {
+			seeds := make([][]float64, len(req.ResumeSeeds))
+			for i, s := range req.ResumeSeeds {
+				seeds[i] = append([]float64(nil), s...)
+			}
+			select {
+			case adopted <- seeds:
+			default:
+			}
+			return stubResult(req), nil
+		}
+		if req.OnGAProgress != nil {
+			req.OnGAProgress(0, 1, 0.5, []float64{3.14, 2.71})
+		}
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+
+	clock := &testClock{}
+	reps := make([]*clusterReplica, 3)
+	urls := make([]string, len(reps))
+	for i := range reps {
+		reps[i] = &clusterReplica{}
+		ts := httptest.NewServer(reps[i])
+		t.Cleanup(ts.Close)
+		reps[i].url = ts.URL
+		urls[i] = ts.URL
+	}
+	for i, rep := range reps {
+		peers := make([]string, 0, len(reps)-1)
+		for k, u := range urls {
+			if k != i {
+				peers = append(peers, u)
+			}
+		}
+		rep.scope = obs.New("test")
+		rep.srv = New(Config{Workers: 4, Obs: rep.scope, Eval: evalFn,
+			Self: rep.url, Peers: peers, nowFn: clock.now})
+		rep.handler.Store(rep.srv.Handler())
+	}
+
+	body := `{"target":"power6-575","bench":"BT-MZ","class":"C","ranks":16}`
+	gk := groupKeyOf(t, body)
+	drainer := reps[0]
+	ring := cluster.NewRing(urls)
+	targetURL := ring.Owner(gk)
+	if targetURL == drainer.url {
+		targetURL = ring.NextOwner(gk, drainer.url)
+	}
+	target := byURL(t, reps, targetURL)
+
+	code, _, out := post(t, drainer.url+"/v1/jobs", `{"request":`+body+`}`)
+	if code != 202 {
+		t.Fatalf("job submit status = %d: %s", code, out)
+	}
+	var st cluster.JobStatus
+	if err := json.Unmarshal(out, &st); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never started")
+	}
+
+	// Drain: exactly one job ships, to the group's ring owner.
+	if n := drainer.srv.Handoff(context.Background()); n != 1 {
+		t.Fatalf("Handoff moved %d jobs, want 1", n)
+	}
+	var seeds [][]float64
+	select {
+	case seeds = <-adopted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no replica resumed the handed-off job")
+	}
+	if want := [][]float64{{3.14, 2.71}}; !reflect.DeepEqual(seeds, want) {
+		t.Errorf("resumed with seeds %v, want the exact handed-off checkpoint %v", seeds, want)
+	}
+
+	// The drainer's status names both the outcome and the forwarding
+	// address; the terminal state lands once the cancelled attempt unwinds.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		js := jobStatusOf(t, drainer, st.ID)
+		if js.State == cluster.JobHandedOff {
+			if js.HandoffTarget != targetURL {
+				t.Errorf("handoff_target = %q, want %q", js.HandoffTarget, targetURL)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drained job state = %q, want %q", js.State, cluster.JobHandedOff)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := counter(drainer.scope, "cluster.job_handoffs"); n != 1 {
+		t.Errorf("cluster.job_handoffs = %d, want 1", n)
+	}
+	if n := counter(target.scope, "cluster.jobs_adopted"); n != 1 {
+		t.Errorf("cluster.jobs_adopted on the target = %d, want 1", n)
+	}
+	// And the adopted search runs to completion on the new owner.
+	deadline = time.Now().Add(5 * time.Second)
+	for counter(target.scope, "jobs.completed") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("adopted job never completed on the target")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// jobStatusOf fetches one job's status document from a replica.
+func jobStatusOf(t *testing.T, rep *clusterReplica, id string) cluster.JobStatus {
+	t.Helper()
+	resp, err := http.Get(rep.url + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("job status fetch = %d: %s", resp.StatusCode, body)
+	}
+	var js cluster.JobStatus
+	if err := json.Unmarshal(body, &js); err != nil {
+		t.Fatal(err)
+	}
+	return js
+}
+
+// TestReplicateIdempotent drives the wire contract of POST /v1/replicate:
+// the first push stores, an identical re-push is a counted no-op that
+// leaves the vault size alone, and a corrupted push is rejected without
+// landing.
+func TestReplicateIdempotent(t *testing.T) {
+	scope := obs.New("test")
+	s := New(Config{Workers: 2, Obs: scope, Eval: (&stubEval{}).fn})
+	ts := newHTTPServer(t, s)
+
+	resultBody := []byte(`{"projection":42}` + "\n")
+	sum := sha256.Sum256(resultBody)
+	msg := replicaMsg{
+		Key:      strings.Repeat("ab", sha256.Size),
+		Endpoint: "/v1/project",
+		Sum:      hex.EncodeToString(sum[:]),
+		Body:     resultBody,
+	}
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, out := post(t, ts.URL+"/v1/replicate", string(payload))
+	if code != 200 || string(out) != "{\"stored\":true}\n" {
+		t.Fatalf("first push: %d %s, want 200 {\"stored\":true}", code, out)
+	}
+	code, _, out = post(t, ts.URL+"/v1/replicate", string(payload))
+	if code != 200 || string(out) != "{\"stored\":false}\n" {
+		t.Fatalf("duplicate push: %d %s, want 200 {\"stored\":false}", code, out)
+	}
+	if n := counter(scope, "cluster.replica_stores"); n != 1 {
+		t.Errorf("cluster.replica_stores = %d, want 1", n)
+	}
+	if n := counter(scope, "cluster.replica_dups"); n != 1 {
+		t.Errorf("cluster.replica_dups = %d, want 1", n)
+	}
+	if n := s.store.ArtifactCount(); n != 1 {
+		t.Errorf("vault holds %d entries after a double push, want 1", n)
+	}
+
+	// A checksum mismatch must never land.
+	bad := msg
+	bad.Sum = hex.EncodeToString(make([]byte, sha256.Size))
+	payload, _ = json.Marshal(bad)
+	if code, _, out = post(t, ts.URL+"/v1/replicate", string(payload)); code != 400 {
+		t.Fatalf("corrupted push: %d %s, want 400", code, out)
+	}
+	if n := counter(scope, "cluster.replica_rejects"); n != 1 {
+		t.Errorf("cluster.replica_rejects = %d, want 1", n)
+	}
+	// Nor a malformed key.
+	short := msg
+	short.Key = "abc"
+	payload, _ = json.Marshal(short)
+	if code, _, _ = post(t, ts.URL+"/v1/replicate", string(payload)); code != 400 {
+		t.Fatalf("short-key push accepted with status %d", code)
+	}
+	if n := s.store.ArtifactCount(); n != 1 {
+		t.Errorf("rejected pushes changed the vault: %d entries, want 1", n)
+	}
+}

@@ -55,7 +55,18 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.jobs.Submit(op, s.jobRun(spec, req))
+	// The job carries its routing group and a re-marshalled submission body
+	// so a draining replica can hand the search to the group's new owner.
+	payload, err := json.Marshal(jobRequest{Op: op, Request: jreq.Request})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	job, err := s.jobs.SubmitJob(cluster.JobSpec{
+		Op:      op,
+		Group:   cluster.GroupKey(req.Base, req.Target),
+		Payload: payload,
+	}, s.jobRun(spec, req))
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -97,6 +108,63 @@ func (s *Server) jobRun(spec endpointSpec, req swapp.Request) cluster.RunFunc {
 		}
 		return spec.render(res)
 	}
+}
+
+// handleJobHandoff serves POST /v1/jobs/handoff: adopt a job drained by a
+// shutting-down peer. The payload is the peer's original submission body
+// and the seeds its newest checkpoint genomes — the adopted job's first
+// attempt resumes the GA from them via the ResumeSeeds path instead of
+// restarting at generation zero.
+func (s *Server) handleJobHandoff(w http.ResponseWriter, r *http.Request) {
+	s.obs.Count("server.requests", 1)
+	s.obs.Count("server.requests./v1/jobs/handoff", 1)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("/v1/jobs/handoff requires POST"))
+		return
+	}
+	var h cluster.Handoff
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&h); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding handoff: %w", err))
+		return
+	}
+	var jreq jobRequest
+	if err := json.Unmarshal(h.Payload, &jreq); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding handoff payload: %w", err))
+		return
+	}
+	op := jreq.Op
+	if op == "" {
+		op = "project"
+	}
+	spec, ok := endpoints[op]
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown op %q", jreq.Op))
+		return
+	}
+	req, err := evalRequest(jreq.Request)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.jobs.SubmitJob(cluster.JobSpec{
+		Op:      op,
+		Group:   h.Group,
+		Payload: h.Payload,
+		Seeds:   h.Seeds,
+	}, s.jobRun(spec, req))
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.obs.Count("cluster.jobs_adopted", 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(job.Status())
 }
 
 // handleJob serves the per-job GETs:

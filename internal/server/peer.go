@@ -38,12 +38,14 @@ const maxTrackedGroups = 4096
 // layered store fills once per group and serves every forwarded request
 // (the peer cache fill).
 type peerSet struct {
-	self string
-	obs  *obs.Scope
-	full *cluster.Ring // over the whole configured membership, self included
+	self  string
+	obs   *obs.Scope
+	full  *cluster.Ring // over the whole configured membership, self included
+	nowFn func() time.Time
 
 	mu        sync.Mutex
 	clients   map[string]*peerClient
+	routing   *cluster.Ring   // over the current (gossip-fed) membership; = full in static mode
 	reachable *cluster.Ring   // over self + peers currently believed up
 	tracked   map[string]bool // group keys seen, for ring_moves accounting
 	keys      []string
@@ -65,6 +67,7 @@ func newPeerSet(self string, peers []string, scope *obs.Scope, nowFn func() time
 		self:    self,
 		obs:     scope,
 		full:    cluster.NewRing(append(append([]string(nil), peers...), self)),
+		nowFn:   nowFn,
 		clients: map[string]*peerClient{},
 		tracked: map[string]bool{},
 	}
@@ -72,21 +75,95 @@ func newPeerSet(self string, peers []string, scope *obs.Scope, nowFn func() time
 		if addr == self {
 			continue
 		}
-		p.clients[addr] = &peerClient{
-			addr: addr,
-			client: &Client{
-				BaseURL: addr,
-				// Forwarding must degrade to local computation quickly: one
-				// retry with short backoff, then the caller falls back.
-				MaxRetries:  1,
-				BaseBackoff: 50 * time.Millisecond,
-				MaxBackoff:  500 * time.Millisecond,
-				breaker:     newBreaker(3, 5*time.Second, nowFn),
-			},
-		}
+		p.clients[addr] = p.newClient(addr)
 	}
+	p.routing = p.full
 	p.reachable = p.full
 	return p
+}
+
+// newClient wires the breaker-guarded forwarding path to one peer address.
+func (p *peerSet) newClient(addr string) *peerClient {
+	return &peerClient{
+		addr: addr,
+		client: &Client{
+			BaseURL: addr,
+			// Forwarding must degrade to local computation quickly: one
+			// retry with short backoff, then the caller falls back.
+			MaxRetries:  1,
+			BaseBackoff: 50 * time.Millisecond,
+			MaxBackoff:  500 * time.Millisecond,
+			breaker:     newBreaker(3, 5*time.Second, p.nowFn),
+		},
+	}
+}
+
+// setMembership replaces the routing ring with one over the given alive
+// membership (self always included) — the gossip detector's OnChange hook.
+// Group keys whose owner moved under the rebuild are counted as
+// cluster.ring_moves; clients for newly seen addresses are wired lazily,
+// and clients for departed peers are kept (a rejoin reuses the breaker's
+// recovery machinery instead of forgetting its history).
+func (p *peerSet) setMembership(alive []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	next := cluster.NewRing(append(append([]string(nil), alive...), p.self))
+	for _, addr := range next.Nodes() {
+		if addr == p.self {
+			continue
+		}
+		if _, ok := p.clients[addr]; !ok {
+			p.clients[addr] = p.newClient(addr)
+		}
+	}
+	if moved := cluster.Moved(p.routing, next, p.keys); moved > 0 {
+		p.obs.Count("cluster.ring_moves", int64(moved))
+	}
+	p.routing = next
+	p.obs.Gauge("cluster.ring_size", float64(next.Len()))
+}
+
+// membership reports the routing ring's current member addresses.
+func (p *peerSet) membership() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.routing.Nodes()
+}
+
+// handoffTarget resolves where a draining replica ships a job for one
+// group: the group's owner if that is someone else, otherwise the replica
+// that inherits the group once this one leaves. nil when the ring has no
+// other member.
+func (p *peerSet) handoffTarget(groupKey string) *peerClient {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	addr := p.routing.Owner(groupKey)
+	if addr == p.self {
+		addr = p.routing.NextOwner(groupKey, p.self)
+	}
+	if addr == "" || addr == p.self {
+		return nil
+	}
+	if _, ok := p.clients[addr]; !ok {
+		p.clients[addr] = p.newClient(addr)
+	}
+	return p.clients[addr]
+}
+
+// successor resolves the replication target for a locally owned group: the
+// replica that would inherit the group if this one left the ring. nil when
+// the ring has no other member.
+func (p *peerSet) successor(groupKey string) *peerClient {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	addr := p.routing.NextOwner(groupKey, p.self)
+	if addr == "" || addr == p.self {
+		return nil
+	}
+	if _, ok := p.clients[addr]; !ok {
+		p.clients[addr] = p.newClient(addr)
+	}
+	return p.clients[addr]
 }
 
 // route resolves a group key: the owning address from the full ring, and
@@ -99,7 +176,7 @@ func (p *peerSet) route(groupKey string) (owner string, pc *peerClient) {
 		p.tracked[groupKey] = true
 		p.keys = append(p.keys, groupKey)
 	}
-	owner = p.full.Owner(groupKey)
+	owner = p.routing.Owner(groupKey)
 	if owner == "" || owner == p.self {
 		return owner, nil
 	}

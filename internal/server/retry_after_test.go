@@ -1,0 +1,167 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// newHintedServer scripts one response per attempt, each with its own
+// Retry-After header value ("" omits the header), then succeeds. Unlike
+// newFlakyServer it controls the hint per attempt, which is what the
+// staleness tests need.
+func newHintedServer(t *testing.T, script []struct {
+	status     int
+	retryAfter string
+}) *httptest.Server {
+	t.Helper()
+	eval := &stubEval{}
+	s := New(Config{Workers: 2, Eval: eval.fn})
+	inner := s.Handler()
+	n := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n < len(script) {
+			step := script[n]
+			n++
+			if step.retryAfter != "" {
+				w.Header().Set("Retry-After", step.retryAfter)
+			}
+			w.WriteHeader(step.status)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestClientRetryAfterNotCarriedAcrossAttempts pins the per-attempt reset:
+// a Retry-After from one 503 must govern only the wait directly after it.
+// Later attempts without the header fall back to the exponential schedule —
+// a stale hint must never inflate them.
+func TestClientRetryAfterNotCarriedAcrossAttempts(t *testing.T) {
+	cases := []struct {
+		name   string
+		script []struct {
+			status     int
+			retryAfter string
+		}
+		wantSleeps []time.Duration
+	}{
+		{
+			name: "hint on the first 503 only",
+			script: []struct {
+				status     int
+				retryAfter string
+			}{
+				{http.StatusServiceUnavailable, "5"},
+				{http.StatusServiceUnavailable, ""},
+				{http.StatusServiceUnavailable, ""},
+			},
+			// 5s for the hinted attempt, then the plain 200ms/400ms
+			// schedule — NOT 5s/5s/5s.
+			wantSleeps: []time.Duration{5 * time.Second, 200 * time.Millisecond, 400 * time.Millisecond},
+		},
+		{
+			name: "hint shrinks back when a later 503 sends a smaller one",
+			script: []struct {
+				status     int
+				retryAfter string
+			}{
+				{http.StatusServiceUnavailable, "5"},
+				{http.StatusServiceUnavailable, "1"},
+			},
+			wantSleeps: []time.Duration{5 * time.Second, time.Second},
+		},
+		{
+			name: "unparseable hint falls back to backoff",
+			script: []struct {
+				status     int
+				retryAfter string
+			}{
+				{http.StatusServiceUnavailable, "soon"},
+			},
+			wantSleeps: []time.Duration{100 * time.Millisecond},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := newHintedServer(t, tc.script)
+			var slept []time.Duration
+			c := testClient(ts.URL, &slept)
+			c.MaxRetries = len(tc.script)
+			if _, err := c.Project(context.Background(), clientReq); err != nil {
+				t.Fatalf("retries did not recover: %v", err)
+			}
+			if len(slept) != len(tc.wantSleeps) {
+				t.Fatalf("slept %v (%d times), want %d", slept, len(slept), len(tc.wantSleeps))
+			}
+			for i, want := range tc.wantSleeps {
+				if slept[i] != want {
+					t.Errorf("sleep %d = %v, want %v", i, slept[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestRetryAfterHint covers both RFC 9110 forms against an injected clock:
+// delay-seconds and HTTP-date, with garbage and expired dates degrading to
+// zero (caller falls back to its own backoff).
+func TestRetryAfterHint(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	c := &Client{Now: func() time.Time { return now }}
+	cases := []struct {
+		name  string
+		value string
+		want  time.Duration
+	}{
+		{"empty", "", 0},
+		{"seconds", "120", 120 * time.Second},
+		{"zero seconds", "0", 0},
+		{"negative seconds", "-3", 0},
+		{"http date in the future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http date in the past", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"http date exactly now", now.Format(http.TimeFormat), 0},
+		{"rfc850 date form", now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 GMT"), 30 * time.Second},
+		{"garbage", "soon", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := c.retryAfterHint(tc.value); got != tc.want {
+				t.Errorf("retryAfterHint(%q) = %v, want %v", tc.value, got, tc.want)
+			}
+		})
+	}
+	// The nil-Now default uses the real clock: a far-future date yields a
+	// positive delay without panicking.
+	var def Client
+	far := time.Now().Add(time.Hour).UTC().Format(http.TimeFormat)
+	if got := def.retryAfterHint(far); got <= 0 {
+		t.Errorf("default-clock hint for a future date = %v, want > 0", got)
+	}
+}
+
+// TestClientRetryAfterHTTPDateEndToEnd proves the HTTP-date form steers a
+// real retry loop: a 503 carrying a date 3 seconds ahead of the injected
+// clock makes the client wait exactly those 3 seconds.
+func TestClientRetryAfterHTTPDateEndToEnd(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	ts := newHintedServer(t, []struct {
+		status     int
+		retryAfter string
+	}{
+		{http.StatusServiceUnavailable, now.Add(3 * time.Second).Format(http.TimeFormat)},
+	})
+	var slept []time.Duration
+	c := testClient(ts.URL, &slept)
+	c.Now = func() time.Time { return now }
+	if _, err := c.Project(context.Background(), clientReq); err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 3*time.Second {
+		t.Errorf("slept %v, want exactly [3s]", slept)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -135,6 +136,18 @@ type Config struct {
 	// always computed locally (no multi-hop routing).
 	Self  string
 	Peers []string
+	// GossipInterval, when positive in peer-aware mode, runs a SWIM-style
+	// failure detector over the configured membership: each interval one
+	// peer is probed (direct /healthz, then indirect via other peers), and
+	// alive-view changes rebuild the routing ring without restarts — dead
+	// replicas leave the ring, rejoining ones return. Zero keeps the
+	// static-membership behaviour (the documented fallback).
+	GossipInterval time.Duration
+	// GossipProbeTimeout bounds one probe (default GossipInterval/2) and
+	// GossipSuspectAfter is the suspicion grace period before a peer is
+	// declared dead (default 3×GossipInterval).
+	GossipProbeTimeout time.Duration
+	GossipSuspectAfter time.Duration
 	// JobsMaxActive / JobsMaxQueued / JobsMaxResumes / JobsTimeout
 	// parameterise the async jobs API (zero values take the
 	// cluster.ManagerConfig defaults).
@@ -158,6 +171,10 @@ type Server struct {
 	breaker *breaker         // nil when disabled
 	peers   *peerSet         // nil when peer-aware mode is off
 	jobs    *cluster.Manager // async jobs API
+
+	gossip       *cluster.Gossip    // nil in static-membership mode
+	gossipCancel context.CancelFunc // stops the gossip loop (Close)
+	replWG       sync.WaitGroup     // in-flight replication pushes
 
 	sem      chan struct{} // worker slots
 	queued   atomic.Int64  // arrivals between admission and a slot
@@ -209,6 +226,22 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Self != "" && len(cfg.Peers) > 0 {
 		s.peers = newPeerSet(cfg.Self, cfg.Peers, cfg.Obs, cfg.nowFn)
+		if cfg.GossipInterval > 0 {
+			s.gossip = cluster.NewGossip(cluster.GossipConfig{
+				Self:          cfg.Self,
+				Peers:         cfg.Peers,
+				ProbeInterval: cfg.GossipInterval,
+				ProbeTimeout:  cfg.GossipProbeTimeout,
+				SuspectAfter:  cfg.GossipSuspectAfter,
+				Probe:         probeHealthz,
+				IndirectProbe: indirectPing,
+				OnChange:      s.peers.setMembership,
+				Obs:           cfg.Obs,
+			})
+			gctx, cancel := context.WithCancel(context.Background())
+			s.gossipCancel = cancel
+			go s.gossip.Run(gctx)
+		}
 	}
 	s.jobs = cluster.NewManager(cluster.ManagerConfig{
 		MaxActive:  cfg.JobsMaxActive,
@@ -220,10 +253,15 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Close stops accepting async job submissions; running jobs finish on
-// their own. Serving endpoints are unaffected (the HTTP listener's
-// Shutdown handles those).
-func (s *Server) Close() { s.jobs.Close() }
+// Close stops the gossip loop and accepting async job submissions; running
+// jobs finish on their own. Serving endpoints are unaffected (the HTTP
+// listener's Shutdown handles those).
+func (s *Server) Close() {
+	if s.gossipCancel != nil {
+		s.gossipCancel()
+	}
+	s.jobs.Close()
+}
 
 // SetDraining flips the readiness state: once draining, /readyz answers
 // 503 so load balancers stop routing here while in-flight work finishes
@@ -240,6 +278,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/jobs/handoff", s.handleJobHandoff)
+	mux.HandleFunc("/v1/replicate", s.handleReplicate)
+	mux.HandleFunc("/v1/gossip/ping", s.handleGossipPing)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -350,6 +391,13 @@ func (s *Server) handleEval(op, endpoint string, ep int, render func(*swapp.Resu
 			}
 		}
 
+		// Warm failover: before computing, serve bytes a (possibly dead)
+		// owner replicated here — byte-identical by construction.
+		if s.replicaServe(w, key, endpoint) {
+			s.obs.Observe("server.request_seconds", time.Since(start).Seconds())
+			return
+		}
+
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(body))
 		defer cancel()
 
@@ -364,6 +412,9 @@ func (s *Server) handleEval(op, endpoint string, ep int, render func(*swapp.Resu
 			return
 		}
 		s.writeResult(w, key, ep, res, hit, render)
+		if !hit {
+			s.maybeReplicate(key, ep, endpoint, res, req, render)
+		}
 	}
 }
 

@@ -1,15 +1,32 @@
 #!/usr/bin/env bash
 # bench_gate.sh — serving-layer regression gate: re-run the swappbench
 # cache-hot and shared-base-warm scenarios and compare them against the
-# committed BENCH_swappd.json, failing on >20% regressions. allocs/op is
-# gated everywhere; p95 latency is gated only when the committed baseline
-# was recorded on comparable hardware (same CPU count and GOMAXPROCS) —
-# swappbench skips latency gates across hosts on its own.
+# committed BENCH_swappd.json. allocs/op is near-deterministic for
+# single-server scenarios and gated at 20% on any host; p50 latency (the
+# stable median — p95 of a small scenario is a single outlier sample)
+# breathes with host load even at the median, so it gets a looser 50%
+# tolerance, applied only when the committed baseline was recorded on
+# comparable hardware (same CPU count and GOMAXPROCS). The peer-wired
+# replica scenarios route real HTTP between servers, where retry and
+# admission timing make even allocs/op breathe — they use the looser
+# tolerance for both metrics.
+# A scenario measured at a different op count than the baseline (e.g. the
+# strict-mode 1-op cold run vs the 5-op baseline) contributes coverage
+# only: allocs/op amortises fixed costs over ops and latency depends on
+# queueing depth, so cross-count numbers are not comparable.
 #
 # A scenario present in the fresh run but absent from the committed
 # baseline is a warning, not a failure: swappbench prints "not in
 # baseline, skipped" and gates the rest, so adding a new scenario never
 # breaks CI before its first baseline commit.
+#
+# The reverse direction IS gated in strict mode (-gate-strict, default on
+# under CI): a baseline scenario that this run does not measure fails the
+# gate, so a misconfigured knob cannot silently shrink coverage. Strict
+# mode defaults on when $CI is set; override with BENCH_GATE_STRICT=0/1.
+# To keep that promise satisfiable, strict mode also bumps the default
+# cold and degraded op counts from 0 to 1 — enough to cover every
+# baseline scenario without paying the full cold sweep.
 #
 # The script also gates the GA evaluation-kernel microbenchmarks
 # (Benchmark{Kernel,ScoreAll}) against BENCH_kernel.json through
@@ -17,18 +34,35 @@
 # regression fails (ns/op only on the baseline's hardware), missing from
 # baseline warns. Regenerate that baseline with: make bench-kernel-baseline
 #
-# Knobs (env): BENCH_GATE_MAX_REGRESS (default 20), BENCH_GATE_COLD /
-# _WARM / _HOT / _DEGRADED / _MULTI to reshape the measured mix (defaults
-# 0/10/200/0/8: the cold scenario costs minutes and its allocs are
-# pipeline-dominated, so the gate leans on the cheap, serving-sensitive
-# scenarios; multi-replica-batch keeps the ring-forwarding path gated —
-# its op count must match the committed baseline's, because allocs/op
-# amortises the replicas' fixed background allocations over the ops).
+# Knobs (env): BENCH_GATE_MAX_REGRESS (default 20),
+# BENCH_GATE_MAX_LATENCY_REGRESS (default 50), BENCH_GATE_COLD /
+# _WARM / _HOT / _DEGRADED / _MULTI / _SCALING to reshape the measured mix
+# (defaults 0/10/200/0/8/12, cold/degraded raised to 1 each in strict
+# mode: the cold scenario costs minutes and its allocs
+# are pipeline-dominated, so the gate leans on the cheap, serving-sensitive
+# scenarios; multi-replica-batch keeps the ring-forwarding path gated and
+# cluster-scaling-2/4/8 the ring-size curve — op counts must match the
+# committed baseline's, because allocs/op amortises the replicas' fixed
+# background allocations over the ops).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 max=${BENCH_GATE_MAX_REGRESS:-20}
+maxlat=${BENCH_GATE_MAX_LATENCY_REGRESS:-50}
+strict=${BENCH_GATE_STRICT:-${CI:+1}}
+strict=${strict:-0}
+
+# Strict mode gates coverage, so every baseline scenario must actually be
+# measured: turn the expensive scenarios on at 1 op each (both are
+# heavyweight per-request pipelines whose allocs/op does not depend on the
+# op count) unless the caller pinned them explicitly.
+cold_default=0
+degraded_default=0
+if [ "$strict" = "1" ]; then
+    cold_default=1
+    degraded_default=1
+fi
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -41,14 +75,22 @@ go test -run '^$' -bench 'BenchmarkKernel$|BenchmarkScoreAll' -benchmem \
     ./internal/core ./internal/ga > "$tmp/kernel_bench.txt"
 go run ./cmd/benchstatgate -baseline BENCH_kernel.json -max-regress "$max" "$tmp/kernel_bench.txt"
 
+strict_flag=()
+if [ "$strict" = "1" ]; then
+    strict_flag=(-gate-strict)
+fi
+
 go build -o "$tmp/swappbench" ./cmd/swappbench
 "$tmp/swappbench" \
-    -cold "${BENCH_GATE_COLD:-0}" \
+    -cold "${BENCH_GATE_COLD:-$cold_default}" \
     -warm "${BENCH_GATE_WARM:-10}" \
     -hot "${BENCH_GATE_HOT:-200}" \
-    -degraded "${BENCH_GATE_DEGRADED:-0}" \
+    -degraded "${BENCH_GATE_DEGRADED:-$degraded_default}" \
     -multi "${BENCH_GATE_MULTI:-8}" \
+    -scaling "${BENCH_GATE_SCALING:-12}" \
     -out "$tmp/run.json" \
     -gate BENCH_swappd.json \
-    -max-regress "$max"
-echo "bench-gate: pass (max tolerated regression ${max}%)"
+    -max-regress "$max" \
+    -max-latency-regress "$maxlat" \
+    ${strict_flag[@]+"${strict_flag[@]}"}
+echo "bench-gate: pass (max tolerated regression ${max}% allocs / ${maxlat}% latency, strict=${strict})"

@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
-# cluster_smoke.sh — end-to-end smoke test of swappd's peer-aware mode
-# (DESIGN.md §13): build swappd, start three replicas wired into one
-# consistent-hash ring, run a grouped /v1/batch round-trip through one
-# node, kill the other two and require the surviving replica to answer
-# the same batch byte-identically via local fallback, rejoin the killed
-# replicas and round-trip once more, then drain everything with SIGTERM
-# and require clean exits.
+# cluster_smoke.sh — end-to-end smoke test of swappd's peer-aware mode with
+# gossip membership and warm failover (DESIGN.md §13, §16): build swappd,
+# start three replicas wired into one consistent-hash ring running the SWIM
+# detector at smoke cadence, run a grouped /v1/batch round-trip through one
+# node, then:
+#
+#   1. compute one result on its ring owner (found via X-Swapp-Peer) so the
+#      owner replicates the rendered bytes to its successor,
+#   2. SIGKILL that owner, wait for gossip to shrink the survivors' rings,
+#      and require a survivor to answer byte-identically from the replica
+#      vault — asserted through cluster.replica_hits in /debug/vars,
+#   3. re-run the grouped batch on a survivor, byte-identical to the
+#      healthy run,
+#   4. restart the killed replica and wait for gossip to heal the ring back
+#      to three members without any restarts elsewhere,
+#   5. drain everything with SIGTERM and require clean exits.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,12 +43,20 @@ for s in socks:
     s.close()
 EOF
 )
+ports=("" "$p1" "$p2" "$p3")
 u1="http://127.0.0.1:$p1"; u2="http://127.0.0.1:$p2"; u3="http://127.0.0.1:$p3"
+urls=("" "$u1" "$u2" "$u3")
 
-start_replica() { # start_replica <index> <port> <peer-url> <peer-url>
-    local i=$1 port=$2
-    "$tmp/swappd" -addr "127.0.0.1:$port" -self "http://127.0.0.1:$port" \
-        -peers "$3,$4" >"$tmp/out$i.log" 2>"$tmp/err$i.log" &
+start_replica() { # start_replica <index>
+    local i=$1 port=${ports[$1]} peers=""
+    for k in 1 2 3; do
+        [ "$k" = "$i" ] && continue
+        peers="${peers:+$peers,}${urls[$k]}"
+    done
+    # Gossip at smoke cadence: membership changes land in ~1s instead of
+    # the production detector's several seconds.
+    "$tmp/swappd" -addr "127.0.0.1:$port" -self "${urls[$i]}" -peers "$peers" \
+        -gossip-interval 200ms >"$tmp/out$i.log" 2>"$tmp/err$i.log" &
     pids[$i]=$!
 }
 wait_healthy() { # wait_healthy <port>
@@ -50,12 +67,29 @@ wait_healthy() { # wait_healthy <port>
     echo "cluster-smoke: replica on port $1 never became healthy" >&2
     return 1
 }
+metric() { # metric <base-url> <counters|gauges> <name> -> integer value (0 when absent)
+    curl -fsS "$1/debug/vars" 2>/dev/null | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+for m in doc.get("swapp.metrics", {}).get(sys.argv[1], []):
+    if m["name"] == sys.argv[2]:
+        print(int(m["value"])); break
+else:
+    print(0)
+' "$2" "$3" || echo 0
+}
+wait_gauge() { # wait_gauge <base-url> <name> <want> <what>
+    for _ in $(seq 1 100); do
+        [ "$(metric "$1" gauges "$2")" = "$3" ] && return 0
+        sleep 0.1
+    done
+    echo "cluster-smoke: timeout waiting for $4 ($2=$3 at $1)" >&2
+    return 1
+}
 
-start_replica 1 "$p1" "$u2" "$u3"
-start_replica 2 "$p2" "$u1" "$u3"
-start_replica 3 "$p3" "$u1" "$u2"
+start_replica 1; start_replica 2; start_replica 3
 wait_healthy "$p1"; wait_healthy "$p2"; wait_healthy "$p3"
-echo "cluster-smoke: 3 replicas up ($u1 $u2 $u3)"
+echo "cluster-smoke: 3 replicas up ($u1 $u2 $u3), gossip at 200ms"
 
 # Four requests hashing to two (base, target) groups: the batch endpoint
 # must dedupe the characterisation work per group and the ring must route
@@ -82,27 +116,79 @@ curl -fsS -X POST "$u1/v1/batch" -d "$batch" -o "$tmp/batch1.json"
 check_batch "$tmp/batch1.json"
 echo "cluster-smoke: grouped batch round-trip ok"
 
-# Crash the two peers (no drain) and require the survivor to degrade to
-# local computation with byte-identical answers.
-kill -KILL "${pids[2]}" "${pids[3]}"
-wait "${pids[2]}" 2>/dev/null || true
-wait "${pids[3]}" 2>/dev/null || true
-pids[2]=""; pids[3]=""
-curl -fsS -X POST "$u1/v1/batch" -d "$batch" -o "$tmp/batch2.json"
+# --- Warm failover ---------------------------------------------------------
+# Compute one result through replica 1; X-Swapp-Peer names the owner when
+# the request was forwarded, silence means replica 1 owns the group itself.
+req='{"target":"westmere-x5670","bench":"BT-MZ","class":"C","ranks":16}'
+curl -fsS -D "$tmp/warm.hdr" -X POST "$u1/v1/project" -d "$req" -o "$tmp/warm.json"
+owner_url=$(awk 'tolower($1)=="x-swapp-peer:"{print $2}' "$tmp/warm.hdr" | tr -d '\r')
+owner_url=${owner_url:-$u1}
+owner=0
+for k in 1 2 3; do [ "${urls[$k]}" = "$owner_url" ] && owner=$k; done
+[ "$owner" != 0 ] || { echo "cluster-smoke: unrecognised owner $owner_url" >&2; exit 1; }
+survivors=()
+for k in 1 2 3; do [ "$k" != "$owner" ] && survivors+=("$k"); done
+
+# The owner's replication push is asynchronous: wait until the rendered
+# bytes landed in a survivor's vault before pulling the plug.
+for _ in $(seq 1 100); do
+    stored=0
+    for k in "${survivors[@]}"; do
+        stored=$((stored + $(metric "${urls[$k]}" counters cluster.replica_stores)))
+    done
+    [ "$stored" -ge 1 ] && break
+    sleep 0.1
+done
+[ "$stored" -ge 1 ] || { echo "cluster-smoke: owner never replicated the warm result" >&2; exit 1; }
+echo "cluster-smoke: warm result computed on replica $owner and replicated"
+
+# SIGKILL the owner — no drain, the crash case — and wait for gossip to
+# evict it from both survivors' routing rings.
+kill -KILL "${pids[$owner]}"
+wait "${pids[$owner]}" 2>/dev/null || true
+pids[$owner]=""
+for k in "${survivors[@]}"; do
+    wait_gauge "${urls[$k]}" cluster.ring_size 2 "gossip to evict the dead owner"
+done
+echo "cluster-smoke: gossip evicted the dead owner from both survivors"
+
+# Every surviving entry point must now answer the warm request with the
+# dead owner's exact bytes, served from the replica vault, not recomputed.
+for k in "${survivors[@]}"; do
+    curl -fsS -D "$tmp/fo$k.hdr" -X POST "${urls[$k]}/v1/project" -d "$req" -o "$tmp/fo$k.json"
+    cmp -s "$tmp/warm.json" "$tmp/fo$k.json" || {
+        echo "cluster-smoke: replica $k served different bytes than the dead owner" >&2; exit 1; }
+    grep -qi '^x-cache: replica' "$tmp/fo$k.hdr" || {
+        echo "cluster-smoke: replica $k response not marked X-Cache: replica" >&2
+        cat "$tmp/fo$k.hdr" >&2; exit 1; }
+done
+hits=0
+for k in "${survivors[@]}"; do
+    hits=$((hits + $(metric "${urls[$k]}" counters cluster.replica_hits)))
+done
+[ "$hits" -ge 1 ] || { echo "cluster-smoke: cluster.replica_hits = $hits, want >= 1" >&2; exit 1; }
+echo "cluster-smoke: warm failover served byte-identically (replica_hits=$hits)"
+
+# The grouped batch still answers byte-identically through a survivor.
+s1=${survivors[0]}
+curl -fsS -X POST "${urls[$s1]}/v1/batch" -d "$batch" -o "$tmp/batch2.json"
 check_batch "$tmp/batch2.json"
 cmp -s "$tmp/batch1.json" "$tmp/batch2.json" || {
     echo "cluster-smoke: failover batch differs from the healthy one" >&2; exit 1; }
-echo "cluster-smoke: survivor answered byte-identically after peer crash"
+echo "cluster-smoke: survivor answered the batch byte-identically after the crash"
 
-# Rejoin the crashed replicas and round-trip once more through the ring.
-start_replica 2 "$p2" "$u1" "$u3"
-start_replica 3 "$p3" "$u1" "$u2"
-wait_healthy "$p2"; wait_healthy "$p3"
+# Rejoin: restart the crashed owner and require gossip to heal both
+# survivors' rings back to three members — no restarts, no operator action.
+start_replica "$owner"
+wait_healthy "${ports[$owner]}"
+for k in "${survivors[@]}"; do
+    wait_gauge "${urls[$k]}" cluster.ring_size 3 "gossip to readmit the rejoined replica"
+done
 curl -fsS -X POST "$u1/v1/batch" -d "$batch" -o "$tmp/batch3.json"
 check_batch "$tmp/batch3.json"
 cmp -s "$tmp/batch1.json" "$tmp/batch3.json" || {
     echo "cluster-smoke: post-rejoin batch differs from the healthy one" >&2; exit 1; }
-echo "cluster-smoke: peers rejoined, batch ok"
+echo "cluster-smoke: replica rejoined via gossip, batch ok"
 
 # Clean drain everywhere.
 for i in 1 2 3; do
@@ -114,4 +200,4 @@ for i in 1 2 3; do
     grep -q drained "$tmp/err$i.log" || {
         echo "cluster-smoke: replica $i missing drain log" >&2; exit 1; }
 done
-echo "cluster-smoke: ok (routing, failover, rejoin, clean drain)"
+echo "cluster-smoke: ok (routing, gossip failover, warm replica serve, rejoin, clean drain)"
