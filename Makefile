@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-serve bench-kernel-baseline fuzz cover serve-smoke cluster-smoke chaos
+.PHONY: check build vet test race bench bench-serve bench-kernel-baseline fuzz cover serve-smoke cluster-smoke crash-smoke chaos
 
 ## check: everything CI runs — vet, build, full tests, race tests.
 check: vet build test race
@@ -57,6 +57,12 @@ serve-smoke:
 # byte-identically via local fallback), rejoin, SIGTERM clean drain.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# Durability smoke: swappd with -data-dir, async job SIGKILLed mid-GA-search,
+# restart on the same dir must replay the journal, resume from checkpoints,
+# and finish byte-identical to an uninterrupted control run.
+crash-smoke:
+	./scripts/crash_smoke.sh
 
 # Fault-tolerance suite under the race detector with shuffled order:
 # injected faults, recovered panics, breaker trips, GA quarantine,

@@ -79,6 +79,11 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		jobsQueued  = fs.Int("jobs-queued", 0, "async jobs waiting beyond the running ones (0 = default 4x active)")
 		jobsResumes = fs.Int("jobs-resumes", 0, "checkpoint resumes after a failed job attempt (0 = default 1, negative = off)")
 		jobsTimeout = fs.Duration("jobs-timeout", 0, "end-to-end async job deadline across resume attempts (0 = default 30m)")
+		jobsRetain  = fs.Int("jobs-retain", 0, "finished async jobs kept for polling (0 = default 64)")
+		jobsAge     = fs.Duration("jobs-retain-age", 0, "additionally evict finished async jobs older than this (0 = count-based retention only)")
+		dataDir     = fs.String("data-dir", "", "durable state directory: WAL job journal + store snapshot; on restart, unfinished jobs resume from their journalled checkpoints (empty = in-memory only)")
+		walSync     = fs.Duration("wal-sync", 0, "batch journal fsyncs to at most one per interval (0 = sync every record, the kill -9-safe default)")
+		snapOnDrain = fs.Bool("snapshot-on-drain", false, "export the layered store to -data-dir on drain so the next start warms up from disk")
 		faults      = fs.String("faults", os.Getenv("SWAPP_FAULTS"),
 			"fault-injection spec, e.g. 'server.eval=panic#1' (default $SWAPP_FAULTS; testing only)")
 	)
@@ -95,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 
 	scope := obs.New("swappd")
 	defer scope.End()
-	srv := server.New(server.Config{
+	srv, err := server.NewDurable(server.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		CacheSize:        *cacheSize,
@@ -122,7 +127,17 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		JobsMaxQueued:  *jobsQueued,
 		JobsMaxResumes: *jobsResumes,
 		JobsTimeout:    *jobsTimeout,
+		JobsRetain:     *jobsRetain,
+		JobsRetainAge:  *jobsAge,
+
+		DataDir:         *dataDir,
+		WALSyncEvery:    *walSync,
+		SnapshotOnDrain: *snapOnDrain,
 	})
+	if err != nil {
+		fmt.Fprintf(stderr, "swappd: %v\n", err)
+		return 1
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -159,6 +174,11 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	defer cancel()
 	if n := srv.Handoff(ctx); n > 0 {
 		fmt.Fprintf(stderr, "swappd: handed off %d job(s)\n", n)
+	}
+	if *snapOnDrain {
+		if err := srv.SaveSnapshot(); err != nil {
+			fmt.Fprintf(stderr, "swappd: %v\n", err)
+		}
 	}
 	srv.Close()
 	if err := hs.Shutdown(ctx); err != nil {

@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ga"
 	"repro/internal/obs"
 )
 
@@ -43,20 +46,49 @@ type Snapshot struct {
 
 // Event is one item on a job's subscription stream.
 type Event struct {
-	// Type is "progress" while the job runs, then exactly one "done".
+	// Type is "progress" while the job runs, then exactly one terminal
+	// event: "done" for done/failed jobs, "handed_off" for jobs drained to
+	// another replica.
 	Type string `json:"type"`
 	// Snapshot accompanies progress events.
 	Snapshot *Snapshot `json:"snapshot,omitempty"`
-	// State accompanies the done event.
+	// State accompanies the terminal event.
 	State JobState `json:"state,omitempty"`
+	// Target accompanies handed_off events: the URL of the replica the
+	// job's checkpoint was shipped to, where the resumed search can be
+	// followed. Empty when the drain found no live peer to ship to.
+	Target string `json:"target,omitempty"`
 }
 
-// RunFunc executes one attempt of a job's evaluation. seeds is nil on the
-// first attempt and the job's checkpoint genomes on resume attempts;
-// progress receives per-generation snapshots and must be called from at
-// most the attempt's own goroutines (it is safe for concurrent use). The
+// Resume carries a resumed attempt's starting state.
+type Resume struct {
+	// Seeds are the newest per-member best genomes, in member order — the
+	// legacy warm-resume material (ga Seeds path; approximate, recorded as
+	// a GAResume quality defect downstream).
+	Seeds [][]float64
+	// Checkpoints are the newest full per-member evolution states, indexed
+	// by ensemble member (nil members start cold) — the exact-resume
+	// material. When non-empty they take precedence over Seeds downstream
+	// and reproduce the uninterrupted search bit for bit.
+	Checkpoints []*ga.Checkpoint
+}
+
+// Tap receives a running attempt's observations. Both callbacks are safe
+// for concurrent use and strictly passive.
+type Tap struct {
+	// Progress receives one snapshot per evolved GA generation per member.
+	Progress func(Snapshot)
+	// Checkpoint receives each member's full evolution state per
+	// generation — the durable-journal material for kill -9 recovery.
+	Checkpoint func(member int, cp *ga.Checkpoint)
+}
+
+// RunFunc executes one attempt of a job's evaluation. resume is zero on a
+// cold first attempt and carries the job's checkpoint state on resume
+// attempts (and on the first attempt of adopted or recovered jobs); tap's
+// callbacks must be called from at most the attempt's own goroutines. The
 // returned bytes are the job's result document, served verbatim.
-type RunFunc func(ctx context.Context, seeds [][]float64, progress func(Snapshot)) ([]byte, error)
+type RunFunc func(ctx context.Context, resume Resume, tap Tap) ([]byte, error)
 
 // ErrJobQueueFull rejects a submission when the backlog is at capacity.
 var ErrJobQueueFull = errors.New("cluster: job queue full")
@@ -80,6 +112,15 @@ type ManagerConfig struct {
 	// Retain bounds finished jobs kept for polling (default 64; oldest
 	// finished evicted first).
 	Retain int
+	// RetainAge additionally bounds how long a finished job is kept: a
+	// background janitor evicts finished jobs older than this. 0 — the
+	// default — disables age-based eviction, keeping the pure count-based
+	// retention behaviour.
+	RetainAge time.Duration
+	// Journal, when non-nil, receives one durable record per submission,
+	// captured checkpoint, and terminal state, so a restarted process can
+	// resurrect unfinished jobs (see Journal). nil disables journalling.
+	Journal *Journal
 	// HistoryCap bounds retained progress snapshots per job (default 256,
 	// oldest dropped). The checkpoint always reflects the newest snapshot
 	// per member regardless of history eviction.
@@ -104,6 +145,12 @@ type Manager struct {
 	active  atomic.Int64
 	nextID  atomic.Int64
 	closing atomic.Bool
+
+	// now is the clock (tests override); janitorStop ends the RetainAge
+	// sweeper.
+	now         func() time.Time
+	janitorStop chan struct{}
+	stopOnce    sync.Once
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
@@ -132,12 +179,71 @@ func NewManager(cfg ManagerConfig) *Manager {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Minute
 	}
-	return &Manager{
-		cfg:  cfg,
-		obs:  cfg.Obs,
-		sem:  make(chan struct{}, cfg.MaxActive),
-		jobs: map[string]*Job{},
+	m := &Manager{
+		cfg:         cfg,
+		obs:         cfg.Obs,
+		sem:         make(chan struct{}, cfg.MaxActive),
+		jobs:        map[string]*Job{},
+		now:         time.Now,
+		janitorStop: make(chan struct{}),
 	}
+	if cfg.RetainAge > 0 {
+		interval := cfg.RetainAge / 4
+		if interval < 50*time.Millisecond {
+			interval = 50 * time.Millisecond
+		}
+		if interval > 30*time.Second {
+			interval = 30 * time.Second
+		}
+		go m.janitor(interval)
+	}
+	return m
+}
+
+// janitor periodically evicts finished jobs past RetainAge until Close.
+func (m *Manager) janitor(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.janitorStop:
+			return
+		case <-t.C:
+			m.SweepAged()
+		}
+	}
+}
+
+// SweepAged evicts finished jobs whose terminal state is older than
+// RetainAge, returning how many were dropped (counted as jobs.aged_out).
+// Running and queued jobs are never touched, nor are handed-off jobs still
+// waiting for their forwarding address.
+func (m *Manager) SweepAged() int {
+	if m.cfg.RetainAge <= 0 {
+		return 0
+	}
+	cutoff := m.now().Add(-m.cfg.RetainAge)
+	m.mu.Lock()
+	var evicted int
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		old := j.evictableLocked() && j.finishedAt.Before(cutoff)
+		j.mu.Unlock()
+		if old {
+			delete(m.jobs, id)
+			evicted++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+	m.mu.Unlock()
+	if evicted > 0 {
+		m.obs.Count("jobs.aged_out", int64(evicted))
+	}
+	return evicted
 }
 
 // Job is one asynchronous evaluation. All fields are guarded by mu; read
@@ -156,17 +262,32 @@ type Job struct {
 	history    []Snapshot
 	snapshots  int               // total observed, including evicted
 	checkpoint map[int][]float64 // member → newest best genome
-	preSeeded  bool              // checkpoint preloaded at submit (adopted handoff)
-	handedOff  bool              // drained: finish as JobHandedOff, never resume here
-	handoffTo  string            // replica the checkpoint was shipped to
-	cancel     context.CancelFunc
-	attempts   int
-	resumed    bool
-	result     []byte
-	errMsg     string
-	done       chan struct{}
-	subs       map[int]chan Event
-	nextSub    int
+	ckpts      map[int]*ga.Checkpoint
+	preSeeded  bool   // checkpoint preloaded at submit (adopted handoff)
+	handedOff  bool   // drained: finish as JobHandedOff, never resume here
+	handoffTo  string // replica the checkpoint was shipped to
+	// handoffMarked reports the drain decided the forwarding address (it
+	// may be empty — no live peer); until then a handed-off job's
+	// subscribers stay attached, waiting for the terminal handed_off event
+	// to carry the target.
+	handoffMarked bool
+	terminalSent  bool // the single terminal event went out, streams closed
+	finished      bool
+	finishedAt    time.Time
+	cancel        context.CancelFunc
+	attempts      int
+	resumed       bool
+	result        []byte
+	errMsg        string
+	done          chan struct{}
+	subs          map[int]chan Event
+	nextSub       int
+}
+
+// evictableLocked reports the job can leave the retention window: it is
+// finished, and — if handed off — its terminal event has been released.
+func (j *Job) evictableLocked() bool {
+	return j.finished && (j.state != JobHandedOff || j.handoffMarked)
 }
 
 // JobStatus is the JSON-ready view of a job, served by GET /v1/jobs/{id}.
@@ -190,14 +311,22 @@ type JobStatus struct {
 }
 
 // JobSpec describes one submission beyond its op: the routing group and
-// original payload (handoff material), and optional preloaded checkpoint
-// seeds — an adopted handoff resumes from them on its very first attempt
-// instead of restarting the search.
+// original payload (handoff material), and optional preloaded resume state
+// — an adopted handoff or a journal-recovered job resumes from it on its
+// very first attempt instead of restarting the search.
 type JobSpec struct {
+	// ID, when non-empty, pins the job's identity — recovered and adopted
+	// jobs keep their original IDs so clients' job URLs survive. Empty for
+	// fresh submissions (the manager assigns job-N).
+	ID      string
 	Op      string
 	Group   string
 	Payload []byte
-	Seeds   [][]float64
+	// Seeds are newest best genomes per member (approximate resume).
+	Seeds [][]float64
+	// Checkpoints are full per-member evolution states (exact resume),
+	// indexed by member; they take precedence over Seeds downstream.
+	Checkpoints []*ga.Checkpoint
 }
 
 // Submit enqueues one evaluation and returns its job immediately. The
@@ -207,7 +336,9 @@ func (m *Manager) Submit(op string, run RunFunc) (*Job, error) {
 	return m.SubmitJob(JobSpec{Op: op}, run)
 }
 
-// SubmitJob is Submit with full job metadata (see JobSpec).
+// SubmitJob is Submit with full job metadata (see JobSpec). Submitting a
+// spec whose ID is already live returns the existing job unchanged — the
+// idempotence journal recovery leans on.
 func (m *Manager) SubmitJob(spec JobSpec, run RunFunc) (*Job, error) {
 	if m.closing.Load() {
 		return nil, ErrJobQueueFull
@@ -216,13 +347,27 @@ func (m *Manager) SubmitJob(spec JobSpec, run RunFunc) (*Job, error) {
 		m.queued.Add(-1)
 		return nil, ErrJobQueueFull
 	}
+	id := spec.ID
+	if id == "" {
+		id = fmt.Sprintf("job-%d", m.nextID.Add(1))
+	} else if n, ok := numericJobID(id); ok {
+		// Keep the counter ahead of recovered IDs so fresh submissions
+		// can never collide with a resurrected job.
+		for {
+			cur := m.nextID.Load()
+			if cur >= n || m.nextID.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
 	j := &Job{
-		ID:         fmt.Sprintf("job-%d", m.nextID.Add(1)),
+		ID:         id,
 		Op:         spec.Op,
 		Group:      spec.Group,
 		Payload:    spec.Payload,
 		state:      JobQueued,
 		checkpoint: map[int][]float64{},
+		ckpts:      map[int]*ga.Checkpoint{},
 		done:       make(chan struct{}),
 		subs:       map[int]chan Event{},
 	}
@@ -232,15 +377,40 @@ func (m *Manager) SubmitJob(spec JobSpec, run RunFunc) (*Job, error) {
 			j.preSeeded = true
 		}
 	}
+	for i, cp := range spec.Checkpoints {
+		if cp != nil {
+			j.ckpts[i] = cp
+			j.preSeeded = true
+		}
+	}
 	m.mu.Lock()
+	if existing, ok := m.jobs[id]; ok {
+		m.mu.Unlock()
+		m.queued.Add(-1)
+		return existing, nil
+	}
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
 	m.evictLocked()
 	m.mu.Unlock()
 	m.obs.Gauge("jobs.queued", float64(m.queued.Load()))
+	m.cfg.Journal.RecordSubmit(JobSpec{
+		ID: j.ID, Op: spec.Op, Group: spec.Group,
+		Payload: spec.Payload, Seeds: spec.Seeds, Checkpoints: spec.Checkpoints,
+	})
 
 	go m.execute(j, run)
 	return j, nil
+}
+
+// numericJobID extracts N from a manager-assigned "job-N" identifier.
+func numericJobID(id string) (int64, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	return n, err == nil && n > 0
 }
 
 // evictLocked drops the oldest finished jobs beyond the retention bound.
@@ -251,9 +421,9 @@ func (m *Manager) evictLocked() {
 		for i, id := range m.order {
 			j := m.jobs[id]
 			j.mu.Lock()
-			finished := j.state == JobDone || j.state == JobFailed || j.state == JobHandedOff
+			evictable := j.evictableLocked()
 			j.mu.Unlock()
-			if finished {
+			if evictable {
 				delete(m.jobs, id)
 				m.order = append(m.order[:i], m.order[i+1:]...)
 				evicted = true
@@ -297,15 +467,18 @@ func (m *Manager) execute(j *Job, run RunFunc) {
 	preSeeded := j.preSeeded
 	j.mu.Unlock()
 
-	progress := func(s Snapshot) { m.record(j, s) }
+	tap := Tap{
+		Progress:   func(s Snapshot) { m.record(j, s) },
+		Checkpoint: func(member int, cp *ga.Checkpoint) { m.recordCheckpoint(j, member, cp) },
+	}
 	var result []byte
 	var err error
 	for attempt := 0; ; attempt++ {
-		var seeds [][]float64
+		var resume Resume
 		if attempt > 0 || preSeeded {
-			// Resume attempts — and adopted handoffs on their first
-			// attempt — search from the newest checkpoint genomes.
-			seeds = j.checkpointSeeds()
+			// Resume attempts — and adopted or recovered jobs on their
+			// first attempt — search from the newest checkpoint state.
+			resume = j.resumeState()
 		}
 		j.mu.Lock()
 		j.attempts = attempt + 1
@@ -313,7 +486,7 @@ func (m *Manager) execute(j *Job, run RunFunc) {
 			j.resumed = true
 		}
 		j.mu.Unlock()
-		result, err = m.attempt(ctx, run, seeds, progress)
+		result, err = m.attempt(ctx, run, resume, tap)
 		if err == nil || attempt >= m.cfg.MaxResumes || ctx.Err() != nil || j.isHandedOff() {
 			break
 		}
@@ -329,7 +502,10 @@ func (j *Job) isHandedOff() bool {
 	return j.handedOff
 }
 
-// finish publishes a job's terminal state and releases every subscriber.
+// finish publishes a job's terminal state and releases every subscriber —
+// except that a handed-off job whose forwarding address is not yet decided
+// keeps its subscribers attached: the terminal handed_off event must carry
+// the target URL, so it waits for MarkHandoffTarget.
 func (m *Manager) finish(j *Job, result []byte, err error) {
 	j.mu.Lock()
 	switch {
@@ -345,21 +521,12 @@ func (m *Manager) finish(j *Job, result []byte, err error) {
 		j.state = JobDone
 		j.result = result
 	}
-	// All subscriber sends and closes happen under j.mu (non-blocking on
-	// buffered channels), so a concurrent Subscribe can never observe a
-	// half-closed stream.
+	j.finished = true
+	j.finishedAt = m.now()
 	state := j.state
-	done := Event{Type: "done", State: state}
-	for _, ch := range j.subs {
-		// A full channel is a slow consumer; it gets the done event
-		// best-effort before close.
-		select {
-		case ch <- done:
-		default:
-		}
-		close(ch)
+	if state != JobHandedOff || j.handoffMarked {
+		j.emitTerminalLocked()
 	}
-	j.subs = map[int]chan Event{}
 	j.mu.Unlock()
 
 	switch state {
@@ -370,19 +537,51 @@ func (m *Manager) finish(j *Job, result []byte, err error) {
 	default:
 		m.obs.Count("jobs.completed", 1)
 	}
+	m.cfg.Journal.RecordDone(j.ID, state)
 	close(j.done)
+}
+
+// emitTerminalLocked sends the stream's single terminal event and closes
+// every subscriber. All subscriber sends and closes happen under j.mu
+// (non-blocking on buffered channels), so a concurrent Subscribe can never
+// observe a half-closed stream. Idempotent; callers hold j.mu.
+func (j *Job) emitTerminalLocked() {
+	if j.terminalSent {
+		return
+	}
+	j.terminalSent = true
+	ev := j.terminalEventLocked()
+	for _, ch := range j.subs {
+		// A full channel is a slow consumer; it gets the terminal event
+		// best-effort before close.
+		select {
+		case ch <- ev:
+		default:
+		}
+		close(ch)
+	}
+	j.subs = map[int]chan Event{}
+}
+
+// terminalEventLocked builds the stream's terminal event for the job's
+// current state. Callers hold j.mu.
+func (j *Job) terminalEventLocked() Event {
+	if j.state == JobHandedOff {
+		return Event{Type: "handed_off", State: JobHandedOff, Target: j.handoffTo}
+	}
+	return Event{Type: "done", State: j.state}
 }
 
 // attempt runs one evaluation attempt with panic containment: a panicking
 // worker becomes a failed attempt — and therefore a checkpoint resume —
 // not a dead manager goroutine.
-func (m *Manager) attempt(ctx context.Context, run RunFunc, seeds [][]float64, progress func(Snapshot)) (result []byte, err error) {
+func (m *Manager) attempt(ctx context.Context, run RunFunc, resume Resume, tap Tap) (result []byte, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			result, err = nil, fmt.Errorf("cluster: job worker panicked: %v", v)
 		}
 	}()
-	return run(ctx, seeds, progress)
+	return run(ctx, resume, tap)
 }
 
 // record stores one progress snapshot: history tail, checkpoint update,
@@ -408,14 +607,49 @@ func (m *Manager) record(j *Job, s Snapshot) {
 	j.mu.Unlock()
 }
 
-// checkpointSeeds flattens the newest per-member best genomes, in member
-// order — the ga.Config.Seeds payload for a resume attempt.
-func (j *Job) checkpointSeeds() [][]float64 {
+// recordCheckpoint stores one member's full evolution state (newest wins)
+// and journals it. Checkpoints are immutable once produced (the GA clones
+// them), so retaining the pointer is safe.
+func (m *Manager) recordCheckpoint(j *Job, member int, cp *ga.Checkpoint) {
+	if cp == nil || member < 0 {
+		return
+	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.checkpointSeedsLocked()
+	j.ckpts[member] = cp
+	j.mu.Unlock()
+	m.cfg.Journal.RecordCheckpoint(j.ID, member, cp)
 }
 
+// resumeState assembles a resume attempt's starting state: the full
+// checkpoints when the job has them, the legacy seeds always.
+func (j *Job) resumeState() Resume {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Resume{Seeds: j.checkpointSeedsLocked(), Checkpoints: j.checkpointStatesLocked()}
+}
+
+// checkpointStatesLocked densifies the per-member checkpoints by member
+// index (nil members cold); nil when the job has none.
+func (j *Job) checkpointStatesLocked() []*ga.Checkpoint {
+	if len(j.ckpts) == 0 {
+		return nil
+	}
+	maxMember := 0
+	for m := range j.ckpts {
+		if m > maxMember {
+			maxMember = m
+		}
+	}
+	out := make([]*ga.Checkpoint, maxMember+1)
+	for m, cp := range j.ckpts {
+		out[m] = cp
+	}
+	return out
+}
+
+// checkpointSeedsLocked flattens the newest per-member best genomes, in
+// member order — the ga.Config.Seeds payload for a resume attempt. Callers
+// hold j.mu.
 func (j *Job) checkpointSeedsLocked() [][]float64 {
 	members := make([]int, 0, len(j.checkpoint))
 	for m := range j.checkpoint {
@@ -475,19 +709,22 @@ func (j *Job) Result() ([]byte, bool) {
 func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Subscribe attaches a live event stream: the retained history replays
-// first (as progress events), then live snapshots, then exactly one done
-// event before close — unless the job already finished, in which case the
-// stream is history + done. cancel detaches early (the channel is closed).
+// first (as progress events), then live snapshots, then exactly one
+// terminal event ("done", or "handed_off" with the forwarding target)
+// before close — unless the job already finished, in which case the stream
+// is history + terminal. A handed-off job whose forwarding address is
+// still being decided attaches live and gets the terminal event when the
+// drain resolves it. cancel detaches early (the channel is closed).
 func (j *Job) Subscribe() (<-chan Event, func()) {
 	j.mu.Lock()
 	replay := append([]Snapshot(nil), j.history...)
-	finished := j.state == JobDone || j.state == JobFailed || j.state == JobHandedOff
+	released := j.finished && (j.state != JobHandedOff || j.handoffMarked)
 	ch := make(chan Event, len(replay)+64)
 	for i := range replay {
 		ch <- Event{Type: "progress", Snapshot: &replay[i]}
 	}
-	if finished {
-		ch <- Event{Type: "done", State: j.state}
+	if released {
+		ch <- j.terminalEventLocked()
 		close(ch)
 		j.mu.Unlock()
 		return ch, func() {}
@@ -507,18 +744,25 @@ func (j *Job) Subscribe() (<-chan Event, func()) {
 	return ch, cancel
 }
 
-// Close stops accepting submissions. Running jobs finish on their own.
-func (m *Manager) Close() { m.closing.Store(true) }
+// Close stops accepting submissions and the retention janitor. Running
+// jobs finish on their own.
+func (m *Manager) Close() {
+	m.closing.Store(true)
+	m.stopOnce.Do(func() { close(m.janitorStop) })
+}
 
 // Handoff is one drained job's transferable state: everything the group's
 // new owner needs to resubmit the search and resume it from the newest
-// checkpoint instead of generation zero.
+// checkpoint instead of generation zero. Checkpoints carry the exact
+// evolution state when the search produced it; Seeds remain for peers that
+// only support the approximate path.
 type Handoff struct {
-	ID      string      `json:"id"`
-	Op      string      `json:"op"`
-	Group   string      `json:"group,omitempty"`
-	Payload []byte      `json:"payload,omitempty"`
-	Seeds   [][]float64 `json:"seeds,omitempty"`
+	ID          string           `json:"id"`
+	Op          string           `json:"op"`
+	Group       string           `json:"group,omitempty"`
+	Payload     []byte           `json:"payload,omitempty"`
+	Seeds       [][]float64      `json:"seeds,omitempty"`
+	Checkpoints []*ga.Checkpoint `json:"checkpoints,omitempty"`
 }
 
 // DrainForHandoff prepares the manager for shutdown: submissions stop,
@@ -549,8 +793,9 @@ func (m *Manager) DrainForHandoff() []Handoff {
 		cancel := j.cancel
 		out = append(out, Handoff{
 			ID: j.ID, Op: j.Op, Group: j.Group,
-			Payload: append([]byte(nil), j.Payload...),
-			Seeds:   j.checkpointSeedsLocked(),
+			Payload:     append([]byte(nil), j.Payload...),
+			Seeds:       j.checkpointSeedsLocked(),
+			Checkpoints: j.checkpointStatesLocked(),
 		})
 		j.mu.Unlock()
 		if cancel != nil {
@@ -560,8 +805,11 @@ func (m *Manager) DrainForHandoff() []Handoff {
 	return out
 }
 
-// MarkHandoffTarget records where a drained job's checkpoint was shipped,
-// for the status document's handoff_target field.
+// MarkHandoffTarget records where a drained job's checkpoint was shipped —
+// for the status document's handoff_target field — and releases the job's
+// subscribers with the terminal handed_off event carrying that target. The
+// drain MUST call this for every drained job, with an empty target when no
+// peer adopted it, or handed-off jobs' event streams never close.
 func (m *Manager) MarkHandoffTarget(id, target string) {
 	m.mu.Lock()
 	j := m.jobs[id]
@@ -571,5 +819,9 @@ func (m *Manager) MarkHandoffTarget(id, target string) {
 	}
 	j.mu.Lock()
 	j.handoffTo = target
+	j.handoffMarked = true
+	if j.finished {
+		j.emitTerminalLocked()
+	}
 	j.mu.Unlock()
 }

@@ -39,12 +39,12 @@ func waitDone(t *testing.T, j *Job) {
 
 func TestJobSubmitProgressResult(t *testing.T) {
 	m := NewManager(ManagerConfig{})
-	j, err := m.Submit("project", func(ctx context.Context, seeds [][]float64, progress func(Snapshot)) ([]byte, error) {
-		if seeds != nil {
-			return nil, errors.New("first attempt must not receive seeds")
+	j, err := m.Submit("project", func(ctx context.Context, resume Resume, tap Tap) ([]byte, error) {
+		if resume.Seeds != nil || resume.Checkpoints != nil {
+			return nil, errors.New("first attempt must not receive resume state")
 		}
 		for gen := 0; gen < 4; gen++ {
-			progress(Snapshot{Member: 0, Generation: gen, BestFitness: float64(10 - gen), Best: []float64{float64(gen)}})
+			tap.Progress(Snapshot{Member: 0, Generation: gen, BestFitness: float64(10 - gen), Best: []float64{float64(gen)}})
 		}
 		return []byte(`{"ok":true}` + "\n"), nil
 	})
@@ -85,15 +85,15 @@ func TestJobPanicResumesFromCheckpoint(t *testing.T) {
 	m := NewManager(ManagerConfig{})
 	var attempts int
 	var gotSeeds [][]float64
-	j, err := m.Submit("project", func(ctx context.Context, seeds [][]float64, progress func(Snapshot)) ([]byte, error) {
+	j, err := m.Submit("project", func(ctx context.Context, resume Resume, tap Tap) ([]byte, error) {
 		attempts++
 		if attempts == 1 {
-			progress(Snapshot{Member: 1, Generation: 0, BestFitness: 5, Best: []float64{1, 1}})
-			progress(Snapshot{Member: 0, Generation: 0, BestFitness: 9, Best: []float64{0, 0}})
-			progress(Snapshot{Member: 0, Generation: 1, BestFitness: 3, Best: []float64{0, 7}})
+			tap.Progress(Snapshot{Member: 1, Generation: 0, BestFitness: 5, Best: []float64{1, 1}})
+			tap.Progress(Snapshot{Member: 0, Generation: 0, BestFitness: 9, Best: []float64{0, 0}})
+			tap.Progress(Snapshot{Member: 0, Generation: 1, BestFitness: 3, Best: []float64{0, 7}})
 			panic("worker blew up")
 		}
-		gotSeeds = seeds
+		gotSeeds = resume.Seeds
 		return []byte("resumed"), nil
 	})
 	if err != nil {
@@ -124,7 +124,7 @@ func TestJobPanicResumesFromCheckpoint(t *testing.T) {
 func TestJobFailsAfterResumeBudget(t *testing.T) {
 	m := NewManager(ManagerConfig{MaxResumes: 2})
 	var attempts int
-	j, err := m.Submit("project", func(ctx context.Context, seeds [][]float64, progress func(Snapshot)) ([]byte, error) {
+	j, err := m.Submit("project", func(ctx context.Context, resume Resume, tap Tap) ([]byte, error) {
 		attempts++
 		return nil, fmt.Errorf("attempt %d failed", attempts)
 	})
@@ -151,11 +151,11 @@ func TestJobSubscribeReplayAndLive(t *testing.T) {
 	m := NewManager(ManagerConfig{})
 	release := make(chan struct{})
 	started := make(chan struct{})
-	j, err := m.Submit("project", func(ctx context.Context, seeds [][]float64, progress func(Snapshot)) ([]byte, error) {
-		progress(Snapshot{Member: 0, Generation: 0, BestFitness: 2, Best: []float64{1}})
+	j, err := m.Submit("project", func(ctx context.Context, resume Resume, tap Tap) ([]byte, error) {
+		tap.Progress(Snapshot{Member: 0, Generation: 0, BestFitness: 2, Best: []float64{1}})
 		close(started)
 		<-release
-		progress(Snapshot{Member: 0, Generation: 1, BestFitness: 1, Best: []float64{2}})
+		tap.Progress(Snapshot{Member: 0, Generation: 1, BestFitness: 1, Best: []float64{2}})
 		return []byte("ok"), nil
 	})
 	if err != nil {
@@ -197,7 +197,7 @@ func TestJobSubscribeReplayAndLive(t *testing.T) {
 func TestJobQueueFull(t *testing.T) {
 	m := NewManager(ManagerConfig{MaxActive: 1, MaxQueued: 1})
 	block := make(chan struct{})
-	run := func(ctx context.Context, seeds [][]float64, progress func(Snapshot)) ([]byte, error) {
+	run := func(ctx context.Context, resume Resume, tap Tap) ([]byte, error) {
 		<-block
 		return []byte("ok"), nil
 	}
@@ -224,7 +224,7 @@ func TestJobRetentionEviction(t *testing.T) {
 	m := NewManager(ManagerConfig{MaxActive: 1, MaxQueued: 8, Retain: 2})
 	var ids []string
 	for i := 0; i < 4; i++ {
-		j, err := m.Submit("project", func(ctx context.Context, seeds [][]float64, progress func(Snapshot)) ([]byte, error) {
+		j, err := m.Submit("project", func(ctx context.Context, resume Resume, tap Tap) ([]byte, error) {
 			return []byte("ok"), nil
 		})
 		if err != nil {
@@ -246,14 +246,14 @@ func TestJobRetentionEviction(t *testing.T) {
 func TestJobConcurrentProgressChaos(t *testing.T) {
 	m := NewManager(ManagerConfig{HistoryCap: 32})
 	const members, gens = 4, 50
-	j, err := m.Submit("project", func(ctx context.Context, seeds [][]float64, progress func(Snapshot)) ([]byte, error) {
+	j, err := m.Submit("project", func(ctx context.Context, resume Resume, tap Tap) ([]byte, error) {
 		var wg sync.WaitGroup
 		for mem := 0; mem < members; mem++ {
 			wg.Add(1)
 			go func(mem int) {
 				defer wg.Done()
 				for gen := 0; gen < gens; gen++ {
-					progress(Snapshot{Member: mem, Generation: gen, BestFitness: float64(gen), Best: []float64{float64(mem), float64(gen)}})
+					tap.Progress(Snapshot{Member: mem, Generation: gen, BestFitness: float64(gen), Best: []float64{float64(mem), float64(gen)}})
 				}
 			}(mem)
 		}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/durable"
+	"repro/internal/ga"
+	"repro/internal/obs"
+)
+
+// Journal is the job manager's durable lifecycle log: one WAL record per
+// submission, per captured GA checkpoint, and per terminal state. A
+// restarted replica replays the log, finds every job that was submitted but
+// never finished, and resubmits it with its newest per-member checkpoints —
+// the kill -9 recovery path.
+//
+// Journalling is strictly best-effort on the write side: a record that
+// cannot be marshalled (a checkpoint carrying an infinite fitness has no
+// JSON form) or appended (disk full, injected fault) is dropped and counted
+// as jobs.journal_drops rather than failing the job — durability must never
+// make the serving path less available. The read side is the opposite:
+// Recover trusts nothing beyond what the WAL's checksums admitted.
+type Journal struct {
+	wal *durable.WAL
+	obs *obs.Scope
+}
+
+// journalRecord is the WAL body wire form, one JSON object per record.
+type journalRecord struct {
+	// Type is "submit", "ckpt", or "done".
+	Type string `json:"type"`
+	ID   string `json:"id"`
+
+	// Submission material (Type "submit").
+	Op      string      `json:"op,omitempty"`
+	Group   string      `json:"group,omitempty"`
+	Payload []byte      `json:"payload,omitempty"`
+	Seeds   [][]float64 `json:"seeds,omitempty"`
+	// Ckpts carries preloaded checkpoints on submit records (adopted
+	// handoffs, compacted recoveries).
+	Ckpts []*ga.Checkpoint `json:"ckpts,omitempty"`
+
+	// Checkpoint material (Type "ckpt").
+	Member int            `json:"member,omitempty"`
+	Ckpt   *ga.Checkpoint `json:"ckpt,omitempty"`
+
+	// Terminal state (Type "done").
+	State JobState `json:"state,omitempty"`
+}
+
+// OpenJournal opens (or creates) the job journal in dir, recovering any
+// torn tail per the WAL's contract. opts.Obs also receives the journal's
+// own jobs.journal_drops counter.
+func OpenJournal(dir string, opts durable.Options) (*Journal, error) {
+	w, err := durable.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{wal: w, obs: opts.Obs}, nil
+}
+
+// append marshals and appends one record, best-effort.
+func (jl *Journal) append(rec journalRecord) {
+	if jl == nil {
+		return
+	}
+	body, err := json.Marshal(rec)
+	if err == nil {
+		err = jl.wal.Append(body)
+	}
+	if err != nil {
+		jl.obs.Count("jobs.journal_drops", 1)
+	}
+}
+
+// RecordSubmit journals one admitted submission, including any preloaded
+// checkpoints (adopted handoffs resume exactly even across a crash).
+func (jl *Journal) RecordSubmit(spec JobSpec) {
+	jl.append(journalRecord{
+		Type: "submit", ID: spec.ID, Op: spec.Op, Group: spec.Group,
+		Payload: spec.Payload, Seeds: spec.Seeds, Ckpts: spec.Checkpoints,
+	})
+}
+
+// RecordCheckpoint journals one member's newest evolution state.
+func (jl *Journal) RecordCheckpoint(id string, member int, cp *ga.Checkpoint) {
+	jl.append(journalRecord{Type: "ckpt", ID: id, Member: member, Ckpt: cp})
+}
+
+// RecordDone journals a job's terminal state; recovery skips the job.
+func (jl *Journal) RecordDone(id string, state JobState) {
+	jl.append(journalRecord{Type: "done", ID: id, State: state})
+}
+
+// Recover replays the journal and returns every job that was submitted but
+// never reached a terminal state, in submission order, each with the newest
+// journalled checkpoint per member merged in (later records win). Replay is
+// idempotent by construction: a duplicate submit of a known ID is ignored,
+// a ckpt or done for an unknown ID is ignored, so recovering twice — or
+// recovering a log that was itself written by a recovered process — yields
+// the same pending set.
+func (jl *Journal) Recover() ([]JobSpec, error) {
+	if jl == nil {
+		return nil, nil
+	}
+	pending := map[string]*JobSpec{}
+	var order []string
+	err := jl.wal.Replay(func(body []byte) error {
+		var rec journalRecord
+		if err := json.Unmarshal(body, &rec); err != nil || rec.ID == "" {
+			return nil // an unreadable record is skipped, not fatal
+		}
+		switch rec.Type {
+		case "submit":
+			if _, ok := pending[rec.ID]; ok {
+				return nil
+			}
+			pending[rec.ID] = &JobSpec{
+				ID: rec.ID, Op: rec.Op, Group: rec.Group,
+				Payload: rec.Payload, Seeds: rec.Seeds, Checkpoints: rec.Ckpts,
+			}
+			order = append(order, rec.ID)
+		case "ckpt":
+			spec, ok := pending[rec.ID]
+			if !ok || rec.Ckpt == nil || rec.Member < 0 {
+				return nil
+			}
+			for len(spec.Checkpoints) <= rec.Member {
+				spec.Checkpoints = append(spec.Checkpoints, nil)
+			}
+			spec.Checkpoints[rec.Member] = rec.Ckpt
+		case "done":
+			delete(pending, rec.ID)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: journal replay: %w", err)
+	}
+	out := make([]JobSpec, 0, len(pending))
+	for _, id := range order {
+		if spec, ok := pending[id]; ok {
+			out = append(out, *spec)
+		}
+	}
+	return out, nil
+}
+
+// Compact rewrites the journal down to one submit record per still-pending
+// job (checkpoints folded in), dropping the finished jobs' history — the
+// startup and drain housekeeping that keeps replay time bounded.
+func (jl *Journal) Compact(pending []JobSpec) error {
+	if jl == nil {
+		return nil
+	}
+	records := make([][]byte, 0, len(pending))
+	for _, spec := range pending {
+		body, err := json.Marshal(journalRecord{
+			Type: "submit", ID: spec.ID, Op: spec.Op, Group: spec.Group,
+			Payload: spec.Payload, Seeds: spec.Seeds, Ckpts: spec.Checkpoints,
+		})
+		if err != nil {
+			jl.obs.Count("jobs.journal_drops", 1)
+			continue
+		}
+		records = append(records, body)
+	}
+	return jl.wal.Compact(records)
+}
+
+// Sync forces the batched WAL writes to disk (the drain path's last act).
+func (jl *Journal) Sync() error {
+	if jl == nil {
+		return nil
+	}
+	return jl.wal.Sync()
+}
+
+// Stats exposes the underlying WAL's counters.
+func (jl *Journal) Stats() durable.Stats {
+	if jl == nil {
+		return durable.Stats{}
+	}
+	return jl.wal.Stats()
+}
+
+// Close flushes and closes the journal.
+func (jl *Journal) Close() error {
+	if jl == nil {
+		return nil
+	}
+	return jl.wal.Close()
+}

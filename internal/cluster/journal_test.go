@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/ga"
+	"repro/internal/obs"
+)
+
+// testCkpt builds a small, JSON-clean GA checkpoint.
+func testCkpt(gen int) *ga.Checkpoint {
+	return &ga.Checkpoint{
+		Gen: gen, RNG: uint64(1000 + gen),
+		Pop:  [][]float64{{1, 2}, {3, 4}},
+		Best: []float64{1, 2}, BestFitness: float64(gen) / 10,
+		History: []float64{0.9, 0.5},
+	}
+}
+
+func openTestJournal(t *testing.T, dir string, scope *obs.Scope) *Journal {
+	t.Helper()
+	jl, err := OpenJournal(dir, durable.Options{Obs: scope})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jl
+}
+
+// TestJournalRecoverPendingJobs is the restart contract: replay returns
+// exactly the jobs that were submitted but never finished, in submission
+// order, each carrying the newest journalled checkpoint per member.
+func TestJournalRecoverPendingJobs(t *testing.T) {
+	dir := t.TempDir()
+	jl := openTestJournal(t, dir, nil)
+	jl.RecordSubmit(JobSpec{ID: "job-1", Op: "project", Group: "g1", Payload: []byte(`{"a":1}`)})
+	jl.RecordSubmit(JobSpec{ID: "job-2", Op: "validate", Group: "g2"})
+	jl.RecordSubmit(JobSpec{ID: "job-3", Op: "project", Group: "g1"})
+	jl.RecordCheckpoint("job-1", 0, testCkpt(1))
+	jl.RecordCheckpoint("job-1", 2, testCkpt(4))
+	jl.RecordCheckpoint("job-1", 0, testCkpt(2)) // newer state for member 0
+	jl.RecordCheckpoint("job-9", 0, testCkpt(9)) // unknown job: ignored
+	jl.RecordDone("job-2", JobDone)
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jl2 := openTestJournal(t, dir, nil)
+	defer jl2.Close()
+	pending, err := jl2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 2 || pending[0].ID != "job-1" || pending[1].ID != "job-3" {
+		t.Fatalf("pending = %+v, want job-1 then job-3", pending)
+	}
+	j1 := pending[0]
+	if j1.Op != "project" || j1.Group != "g1" || string(j1.Payload) != `{"a":1}` {
+		t.Errorf("job-1 submission material lost: %+v", j1)
+	}
+	if len(j1.Checkpoints) != 3 || j1.Checkpoints[1] != nil {
+		t.Fatalf("job-1 checkpoints = %+v, want members 0 and 2 with a nil gap", j1.Checkpoints)
+	}
+	if j1.Checkpoints[0].Gen != 2 || j1.Checkpoints[2].Gen != 4 {
+		t.Errorf("checkpoint gens = %d, %d; want the newest per member (2, 4)",
+			j1.Checkpoints[0].Gen, j1.Checkpoints[2].Gen)
+	}
+	// Replay is idempotent: a second recovery sees the same pending set.
+	again, err := jl2.Recover()
+	if err != nil || len(again) != 2 {
+		t.Fatalf("second Recover = %d pending, %v; want the same 2", len(again), err)
+	}
+}
+
+// TestJournalRecoverAfterTornTail: a crash mid-append must cost at most the
+// torn record — the pending set reflects every intact record before it.
+func TestJournalRecoverAfterTornTail(t *testing.T) {
+	dir := t.TempDir()
+	scope := obs.New("test")
+	jl := openTestJournal(t, dir, scope)
+	jl.RecordSubmit(JobSpec{ID: "job-1", Op: "project"})
+	jl.RecordDone("job-1", JobDone)
+	jl.RecordSubmit(JobSpec{ID: "job-2", Op: "project"})
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the log mid-way through the last record.
+	seg := filepath.Join(dir, "wal-00000001.seg")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	jl2 := openTestJournal(t, dir, scope)
+	defer jl2.Close()
+	pending, err := jl2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Errorf("pending = %+v, want none (the torn record was the only live submit)", pending)
+	}
+	if st := jl2.Stats(); st.Truncated != 1 {
+		t.Errorf("wal truncations = %d, want 1", st.Truncated)
+	}
+}
+
+// TestJournalCompact folds history down to the pending submits so replay
+// time stays bounded, preserving checkpoints through the rewrite.
+func TestJournalCompact(t *testing.T) {
+	dir := t.TempDir()
+	jl := openTestJournal(t, dir, nil)
+	for i := 0; i < 6; i++ {
+		id := "job-" + string(rune('1'+i))
+		jl.RecordSubmit(JobSpec{ID: id, Op: "project"})
+		jl.RecordDone(id, JobDone)
+	}
+	jl.RecordSubmit(JobSpec{ID: "job-live", Op: "project"})
+	jl.RecordCheckpoint("job-live", 0, testCkpt(7))
+	pending, err := jl.Recover()
+	if err != nil || len(pending) != 1 {
+		t.Fatalf("Recover = %+v, %v", pending, err)
+	}
+	if err := jl.Compact(pending); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jl2 := openTestJournal(t, dir, nil)
+	defer jl2.Close()
+	after, err := jl2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 1 || after[0].ID != "job-live" {
+		t.Fatalf("post-compact pending = %+v", after)
+	}
+	if len(after[0].Checkpoints) != 1 || after[0].Checkpoints[0].Gen != 7 {
+		t.Errorf("checkpoint lost in compaction: %+v", after[0].Checkpoints)
+	}
+	if st := jl2.Stats(); st.Replayed != 1 {
+		t.Errorf("compacted log replayed %d records, want exactly the 1 pending submit", st.Replayed)
+	}
+}
+
+// TestJournalDropsUnmarshalableCheckpoint: a checkpoint carrying ±Inf has
+// no JSON form; journalling must degrade to a counted drop, never an error
+// on the job path, and recovery must still see the job (without the bad
+// checkpoint).
+func TestJournalDropsUnmarshalableCheckpoint(t *testing.T) {
+	scope := obs.New("test")
+	jl := openTestJournal(t, t.TempDir(), scope)
+	defer jl.Close()
+	jl.RecordSubmit(JobSpec{ID: "job-1", Op: "project"})
+	bad := testCkpt(1)
+	bad.BestFitness = math.Inf(1)
+	jl.RecordCheckpoint("job-1", 0, bad)
+	if n, _ := scope.Metrics().Counter("jobs.journal_drops"); n != 1 {
+		t.Errorf("jobs.journal_drops = %d, want 1", n)
+	}
+	pending, err := jl.Recover()
+	if err != nil || len(pending) != 1 {
+		t.Fatalf("Recover = %+v, %v", pending, err)
+	}
+	if len(pending[0].Checkpoints) != 0 {
+		t.Errorf("dropped checkpoint resurfaced: %+v", pending[0].Checkpoints)
+	}
+}
+
+// TestJournalNilSafety: a nil journal (durability off) is a no-op sink.
+func TestJournalNilSafety(t *testing.T) {
+	var jl *Journal
+	jl.RecordSubmit(JobSpec{ID: "job-1"})
+	jl.RecordCheckpoint("job-1", 0, testCkpt(1))
+	jl.RecordDone("job-1", JobDone)
+	if pending, err := jl.Recover(); err != nil || pending != nil {
+		t.Errorf("nil Recover = %+v, %v", pending, err)
+	}
+	if err := jl.Compact(nil); err != nil {
+		t.Errorf("nil Compact: %v", err)
+	}
+	if err := jl.Sync(); err != nil {
+		t.Errorf("nil Sync: %v", err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/ga"
+	"repro/internal/quality"
+)
+
+// checkpointTap collects the surrogate search's full per-member checkpoint
+// streams. Ensemble members run concurrently, so the callback locks.
+type checkpointTap struct {
+	mu  sync.Mutex
+	all map[int][]*ga.Checkpoint
+}
+
+func newCheckpointTap() *checkpointTap {
+	return &checkpointTap{all: map[int][]*ga.Checkpoint{}}
+}
+
+func (c *checkpointTap) fn(member int, cp *ga.Checkpoint) {
+	c.mu.Lock()
+	c.all[member] = append(c.all[member], cp)
+	c.mu.Unlock()
+}
+
+// pick returns one checkpoint per member, choosing the stream index with
+// sel (given the member's stream length). The result is indexed by member,
+// the shape SurrogateCheckpoints expects.
+func (c *checkpointTap) pick(t *testing.T, sel func(n int) int) []*ga.Checkpoint {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.all) == 0 {
+		t.Fatal("checkpoint tap saw no checkpoints")
+	}
+	maxMember := 0
+	for m := range c.all {
+		if m > maxMember {
+			maxMember = m
+		}
+	}
+	cps := make([]*ga.Checkpoint, maxMember+1)
+	for m, stream := range c.all {
+		cps[m] = stream[sel(len(stream))]
+	}
+	return cps
+}
+
+// TestCheckpointResumeProjectionByteIdentical is the projection-level half
+// of the crash-recovery contract: tapping OnGACheckpoint changes nothing,
+// and resuming the surrogate search from any captured generation — first,
+// middle, or last — reproduces the uninterrupted projection bit for bit.
+func TestCheckpointResumeProjectionByteIdentical(t *testing.T) {
+	p, _ := sharedPipes(t)
+	app := sharedLU(t)
+
+	ref, err := p.ProjectCompute(app, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tap := newCheckpointTap()
+	tapped := *p
+	tapped.onGACheckpoint = tap.fn
+	got, err := tapped.ProjectCompute(app, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("checkpoint tap is not passive:\n got %+v\nwant %+v", got, ref)
+	}
+
+	cases := []struct {
+		name string
+		sel  func(n int) int
+	}{
+		{"first-gen", func(n int) int { return 0 }},
+		{"mid-run", func(n int) int { return n / 2 }},
+		{"final-gen", func(n int) int { return n - 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resumed := *p
+			resumed.resumeCheckpoints = tap.pick(t, tc.sel)
+			rgot, err := resumed.ProjectCompute(app, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rgot, ref) {
+				t.Errorf("resumed projection diverged from the uninterrupted run:\n got %+v\nwant %+v", rgot, ref)
+			}
+		})
+	}
+
+	// Partial resume: only member 1 restores from its checkpoint, the rest
+	// of the ensemble starts cold — still bit-identical, since a cold start
+	// and a gen-0-less resume walk the same RNG stream per member.
+	partial := tap.pick(t, func(n int) int { return n / 2 })
+	for m := range partial {
+		if m != 1 {
+			partial[m] = nil
+		}
+	}
+	resumed := *p
+	resumed.resumeCheckpoints = partial
+	pgot, err := resumed.ProjectCompute(app, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pgot, ref) {
+		t.Errorf("partially resumed projection diverged:\n got %+v\nwant %+v", pgot, ref)
+	}
+}
+
+// TestCheckpointResumeQualityContract separates the two resume paths:
+// exact checkpoint resume records no quality defect (it reproduces the
+// uninterrupted computation), while the legacy seed resume still carries
+// its GAResume marker — and checkpoints take precedence when both are set.
+func TestCheckpointResumeQualityContract(t *testing.T) {
+	p, _ := sharedPipes(t)
+	app := sharedLU(t)
+
+	tap := newCheckpointTap()
+	tapped := *p
+	tapped.onGACheckpoint = tap.fn
+	ref, err := tapped.ProjectCompute(app, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps := tap.pick(t, func(n int) int { return n / 2 })
+
+	hasResume := func(rec *quality.Report) bool {
+		for _, d := range rec.Defects() {
+			if d.Code == quality.GAResume {
+				return true
+			}
+		}
+		return false
+	}
+
+	rec := quality.NewReport()
+	resumed := *p
+	resumed.resumeCheckpoints = cps
+	if _, err := resumed.projectComputeCtx(context.Background(), nil, app, 8, ComputeOptions{}, rec); err != nil {
+		t.Fatal(err)
+	}
+	if hasResume(rec) {
+		t.Error("exact checkpoint resume recorded a GAResume defect; it must not")
+	}
+
+	rec = quality.NewReport()
+	seeded := *p
+	seeded.resumeSeeds = [][]float64{append([]float64(nil), cps[0].Best...)}
+	if _, err := seeded.projectComputeCtx(context.Background(), nil, app, 8, ComputeOptions{}, rec); err != nil {
+		t.Fatal(err)
+	}
+	if !hasResume(rec) {
+		t.Error("seed resume must record a GAResume defect")
+	}
+
+	// Precedence: with both set, the exact path wins — no defect, and the
+	// result matches the uninterrupted run.
+	rec = quality.NewReport()
+	both := *p
+	both.resumeCheckpoints = cps
+	both.resumeSeeds = [][]float64{append([]float64(nil), cps[0].Best...)}
+	proj, err := both.projectComputeCtx(context.Background(), nil, app, 8, ComputeOptions{}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasResume(rec) {
+		t.Error("checkpoints must take precedence over seeds, without a defect")
+	}
+	if !reflect.DeepEqual(proj, ref) {
+		t.Errorf("precedence path diverged from the uninterrupted run:\n got %+v\nwant %+v", proj, ref)
+	}
+}

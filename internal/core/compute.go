@@ -260,6 +260,16 @@ func (p *Pipeline) ProjectComputeOpts(app *AppModel, ci int, opts ComputeOptions
 // the defects recorded when they were filled, so a served projection is
 // indistinguishable from a computed one.
 func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app *AppModel, ci int, opts ComputeOptions, rec *quality.Report) (*ComputeProjection, error) {
+	// An exact checkpoint resume continues each ensemble member's
+	// evolution mid-stream and reproduces the uninterrupted computation
+	// bit for bit, so — unlike seed resume below — it records no defect.
+	// It still computes fresh: its per-member state replaces the cached
+	// surrogate artifact wholesale, so reading or publishing the clean
+	// content-addressed entries would be wrong in both directions.
+	if len(p.resumeCheckpoints) > 0 {
+		proj, _, err := p.computeSurrogate(ctx, parent, app, ci, opts, rec, nil, p.resumeCheckpoints)
+		return proj, err
+	}
 	// A resumed search starts from externally supplied checkpoint genomes,
 	// which — like any seeding — can change the projected numbers, so it
 	// must neither read nor publish the clean content-addressed surrogate
@@ -269,12 +279,12 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 			Code: quality.GAResume, Component: quality.Compute, Severity: quality.Minor,
 			Detail: fmt.Sprintf("surrogate search resumed from %d checkpoint genomes", len(p.resumeSeeds)),
 		})
-		proj, _, err := p.computeSurrogate(ctx, parent, app, ci, opts, rec, p.resumeSeeds)
+		proj, _, err := p.computeSurrogate(ctx, parent, app, ci, opts, rec, p.resumeSeeds, nil)
 		return proj, err
 	}
 	st := p.storeFor()
 	if st == nil || opts != (ComputeOptions{}) {
-		proj, _, err := p.computeSurrogate(ctx, parent, app, ci, opts, rec, nil)
+		proj, _, err := p.computeSurrogate(ctx, parent, app, ci, opts, rec, nil, nil)
 		return proj, err
 	}
 	var seeds [][]float64
@@ -294,7 +304,7 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 				Detail: fmt.Sprintf("surrogate search warm-started from the cached surrogate at %d ranks", seedCi),
 			})
 		}
-		proj, genomes, err := p.computeSurrogate(context.Background(), p.Obs, app, ci, opts, sub, seeds)
+		proj, genomes, err := p.computeSurrogate(context.Background(), p.Obs, app, ci, opts, sub, seeds, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -313,8 +323,10 @@ func (p *Pipeline) projectComputeCtx(ctx context.Context, parent *obs.Scope, app
 // member, the expensive stage of the compute projection. seeds, when
 // non-empty, warm-start each ensemble member's initial population. The
 // second return value is the ensemble's usable best genomes, in member
-// order — the warm-start seed material for neighbouring searches.
-func (p *Pipeline) computeSurrogate(ctx context.Context, parent *obs.Scope, app *AppModel, ci int, opts ComputeOptions, rec *quality.Report, seeds [][]float64) (*ComputeProjection, [][]float64, error) {
+// order — the warm-start seed material for neighbouring searches. cps,
+// when non-nil, carries per-member exact-resume checkpoints (indexed by
+// ensemble member; nil members start cold).
+func (p *Pipeline) computeSurrogate(ctx context.Context, parent *obs.Scope, app *AppModel, ci int, opts ComputeOptions, rec *quality.Report, seeds [][]float64, cps []*ga.Checkpoint) (*ComputeProjection, [][]float64, error) {
 	cp, ok := app.Counters[ci]
 	if !ok {
 		return nil, nil, fmt.Errorf("core: no counters at %d ranks for %s", ci, app.Name())
@@ -412,10 +424,19 @@ func (p *Pipeline) computeSurrogate(ctx context.Context, parent *obs.Scope, app 
 			cfg.Seeds = seeds
 			cfg.StallGenerations = warmStallGenerations
 		}
+		if e < len(cps) && cps[e] != nil {
+			cfg.Resume = cps[e]
+		}
 		if p.onGAProgress != nil {
 			member := e
 			cfg.OnGeneration = func(gen int, best float64, genome []float64) {
 				p.onGAProgress(member, gen, best, genome)
+			}
+		}
+		if p.onGACheckpoint != nil {
+			member := e
+			cfg.OnCheckpoint = func(cp *ga.Checkpoint) {
+				p.onGACheckpoint(member, cp)
 			}
 		}
 		res, err := ga.Run(cfg)

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/faultinject"
+	"repro/internal/ga"
 	"repro/internal/hpm"
 	"repro/internal/imb"
 	"repro/internal/mpiprof"
@@ -82,6 +83,12 @@ type Pipeline struct {
 	// resumeSeeds, when non-empty, seed the surrogate search directly —
 	// the async-job checkpoint-resume path (see Options.SurrogateSeeds).
 	resumeSeeds [][]float64
+	// onGACheckpoint taps the surrogate search's full per-generation
+	// evolution state (see Options.OnGACheckpoint).
+	onGACheckpoint func(member int, cp *ga.Checkpoint)
+	// resumeCheckpoints, when non-empty, restore the surrogate search's
+	// ensemble members mid-evolution (see Options.SurrogateCheckpoints).
+	resumeCheckpoints []*ga.Checkpoint
 }
 
 // storeFor returns the layer store to use right now: nil while fault
@@ -155,6 +162,24 @@ type Options struct {
 	// content-addressed keys and record a GAResume defect in the Quality
 	// report.
 	SurrogateSeeds [][]float64
+	// OnGACheckpoint, when non-nil, receives each ensemble member's FULL
+	// evolution state after every evolved generation (see ga.Checkpoint) —
+	// the durability tap for crash-recoverable jobs, where OnGAProgress's
+	// best-genome snapshots are not enough to continue a search exactly.
+	// Strictly passive and byte-identical with the callback set or nil;
+	// members run concurrently, so it must be safe for concurrent calls.
+	OnGACheckpoint func(member int, cp *ga.Checkpoint)
+	// SurrogateCheckpoints, when non-empty, restore the surrogate
+	// search's ensemble members from checkpoints captured by
+	// OnGACheckpoint (indexed by member; nil members start cold). Unlike
+	// SurrogateSeeds this is the EXACT resume path: the continued search
+	// reproduces the uninterrupted run bit for bit, so it records no
+	// quality defect — but it still computes fresh rather than reading
+	// the surrogate layer, since its per-member state replaces the cached
+	// artifact wholesale. Takes precedence over SurrogateSeeds. Only
+	// meaningful for searches that were started cold (a warm-started
+	// member's stall cutoff is not reconstructed).
+	SurrogateCheckpoints []*ga.Checkpoint
 }
 
 // NewPipeline gathers benchmark data for a machine pair at the given job
@@ -185,16 +210,18 @@ func NewPipelineCtx(ctx context.Context, base, target *arch.Machine, rankCounts 
 		return nil, err
 	}
 	p := &Pipeline{
-		Base:         base,
-		Target:       target,
-		Workers:      opts.Workers,
-		Obs:          opts.Obs,
-		IMBBase:      map[int]*imb.Table{},
-		IMBTarget:    map[int]*imb.Table{},
-		store:        opts.Store,
-		warmStart:    opts.WarmStart,
-		onGAProgress: opts.OnGAProgress,
-		resumeSeeds:  opts.SurrogateSeeds,
+		Base:              base,
+		Target:            target,
+		Workers:           opts.Workers,
+		Obs:               opts.Obs,
+		IMBBase:           map[int]*imb.Table{},
+		IMBTarget:         map[int]*imb.Table{},
+		store:             opts.Store,
+		warmStart:         opts.WarmStart,
+		onGAProgress:      opts.OnGAProgress,
+		resumeSeeds:       opts.SurrogateSeeds,
+		onGACheckpoint:    opts.OnGACheckpoint,
+		resumeCheckpoints: opts.SurrogateCheckpoints,
 	}
 	if opts.Data != nil {
 		// External data bypasses the store for this pipeline's whole

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/obs"
+)
+
+// snapStore builds a store whose characterisation layer is filled the way
+// a serving process fills it: by constructing a real pipeline through it.
+// Returns the store and the pipeline (for byte-identity comparisons).
+func snapStore(t *testing.T, scope *obs.Scope) (*Store, *Pipeline) {
+	t.Helper()
+	st := NewStore(StoreConfig{Obs: scope})
+	p, err := NewPipelineOpts(arch.MustGet(arch.Hydra), arch.MustGet(arch.Power6), []int{4, 8}, Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, p
+}
+
+// cloneSnap deep-copies a snapshot through its own wire form, which also
+// proves the spill survives the JSON round trip the on-disk vault uses.
+func cloneSnap(t *testing.T, snap *StoreSnapshot) *StoreSnapshot {
+	t.Helper()
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &StoreSnapshot{}
+	if err := json.Unmarshal(blob, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func sortedStrings(xs []string) []string {
+	out := append([]string(nil), xs...)
+	sort.Strings(out)
+	return out
+}
+
+// TestStoreSnapshotRoundTrip is the vault-spill half of the durability
+// contract: export the characterisation layer and the replication vault,
+// ship them through the JSON wire form, import into a fresh store, and the
+// fresh store serves bit-identical benchmark data — so a pipeline built
+// over the spill equals one built by running the benchmarks.
+func TestStoreSnapshotRoundTrip(t *testing.T) {
+	src, p1 := snapStore(t, nil)
+	src.PutArtifact("result|proj-1", []byte(`{"rendered":true}`+"\n"))
+
+	snap := src.ExportSnapshot()
+	if snap.Version != SnapshotVersion {
+		t.Fatalf("snapshot version = %d, want %d", snap.Version, SnapshotVersion)
+	}
+	// SPEC on two machines + IMB per (machine, count) pair.
+	if want := 2 + 2*2; len(snap.Chars) != want {
+		keys := make([]string, len(snap.Chars))
+		for i, c := range snap.Chars {
+			keys[i] = c.Key
+		}
+		t.Fatalf("exported %d characterisation entries (%v), want %d", len(snap.Chars), keys, want)
+	}
+	if len(snap.Artifacts) != 1 {
+		t.Fatalf("exported %d artifacts, want 1", len(snap.Artifacts))
+	}
+
+	dst := NewStore(StoreConfig{})
+	stored, rejected := dst.ImportSnapshot(cloneSnap(t, snap))
+	if stored != len(snap.Chars)+1 || rejected != 0 {
+		t.Fatalf("import: stored=%d rejected=%d, want %d and 0", stored, rejected, len(snap.Chars)+1)
+	}
+	if got, want := sortedStrings(dst.DebugKeys("characterisation")), sortedStrings(src.DebugKeys("characterisation")); !reflect.DeepEqual(got, want) {
+		t.Fatalf("imported keys %v, want %v", got, want)
+	}
+	if body, ok := dst.GetArtifact("result|proj-1"); !ok || !bytes.Equal(body, []byte(`{"rendered":true}`+"\n")) {
+		t.Fatalf("vault entry after import = %q, %t", body, ok)
+	}
+
+	// A pipeline over the imported store must resolve every
+	// characterisation from the spill and land bit-identical tables.
+	p2, err := NewPipelineOpts(arch.MustGet(arch.Hydra), arch.MustGet(arch.Power6), []int{4, 8}, Options{Store: dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p2.SpecBase, p1.SpecBase) || !reflect.DeepEqual(p2.SpecTarget, p1.SpecTarget) {
+		t.Error("SPEC data through the spill diverged from the fresh run")
+	}
+	for _, c := range []int{4, 8} {
+		if !reflect.DeepEqual(p2.IMBBase[c], p1.IMBBase[c]) || !reflect.DeepEqual(p2.IMBTarget[c], p1.IMBTarget[c]) {
+			t.Errorf("IMB tables at %d ranks through the spill diverged", c)
+		}
+	}
+	// Re-importing into a populated store is a no-op for the chars layer:
+	// live entries win over the spill, nothing is rejected.
+	if _, rejected := dst.ImportSnapshot(cloneSnap(t, snap)); rejected != 0 {
+		t.Errorf("re-import rejected %d entries, want 0", rejected)
+	}
+	if got := len(dst.DebugKeys("characterisation")); got != len(snap.Chars) {
+		t.Errorf("re-import grew the chars layer to %d entries", got)
+	}
+}
+
+// TestStoreSnapshotRejectsCorruptEntries pins the import gate: a flipped
+// body byte, a key that doesn't match the payload's content, or an unknown
+// schema version must never load — rejected and counted, exactly like a
+// corrupt /v1/replicate push.
+func TestStoreSnapshotRejectsCorruptEntries(t *testing.T) {
+	src, _ := snapStore(t, nil)
+	src.PutArtifact("result|proj-1", []byte(`{"rendered":true}`+"\n"))
+	pristine := src.ExportSnapshot()
+	specIdx := -1
+	for i, c := range pristine.Chars {
+		if strings.HasPrefix(c.Key, "spec|") {
+			specIdx = i
+			break
+		}
+	}
+	if specIdx < 0 {
+		t.Fatal("no spec| entry in the export")
+	}
+
+	t.Run("flipped-body", func(t *testing.T) {
+		snap := cloneSnap(t, pristine)
+		snap.Chars[specIdx].Body[len(snap.Chars[specIdx].Body)/2] ^= 0x01
+		scope := obs.New("test")
+		dst := NewStore(StoreConfig{Obs: scope})
+		stored, rejected := dst.ImportSnapshot(snap)
+		if rejected != 1 || stored != len(snap.Chars)-1+1 {
+			t.Errorf("stored=%d rejected=%d, want one rejection", stored, rejected)
+		}
+		if n := vaultCounter(scope, "core.store.characterisation_rejects"); n != 1 {
+			t.Errorf("characterisation_rejects = %d, want 1", n)
+		}
+	})
+
+	t.Run("key-mismatch", func(t *testing.T) {
+		snap := cloneSnap(t, pristine)
+		// Valid checksum, valid payload — but recorded under a key whose
+		// content-derived form doesn't match. Must not publish.
+		snap.Chars[specIdx].Key = `spec|"NotThatMachine"`
+		dst := NewStore(StoreConfig{})
+		_, rejected := dst.ImportSnapshot(snap)
+		if rejected != 1 {
+			t.Errorf("rejected=%d, want 1", rejected)
+		}
+		for _, k := range dst.DebugKeys("characterisation") {
+			if k == `spec|"NotThatMachine"` {
+				t.Error("mismatched key was published")
+			}
+		}
+	})
+
+	t.Run("corrupt-artifact", func(t *testing.T) {
+		snap := cloneSnap(t, pristine)
+		snap.Artifacts[0].Body = append(snap.Artifacts[0].Body, '!')
+		dst := NewStore(StoreConfig{})
+		_, rejected := dst.ImportSnapshot(snap)
+		if rejected != 1 {
+			t.Errorf("rejected=%d, want 1", rejected)
+		}
+		if n := dst.ArtifactCount(); n != 0 {
+			t.Errorf("vault holds %d entries after a rejected artifact, want 0", n)
+		}
+	})
+
+	t.Run("wrong-version", func(t *testing.T) {
+		snap := cloneSnap(t, pristine)
+		snap.Version = SnapshotVersion + 1
+		dst := NewStore(StoreConfig{})
+		stored, rejected := dst.ImportSnapshot(snap)
+		if stored != 0 || rejected != 0 {
+			t.Errorf("foreign version imported: stored=%d rejected=%d", stored, rejected)
+		}
+	})
+
+	t.Run("nil-safety", func(t *testing.T) {
+		var nilStore *Store
+		if snap := nilStore.ExportSnapshot(); snap == nil || snap.Version != SnapshotVersion || len(snap.Chars) != 0 {
+			t.Errorf("nil store export = %+v", nilStore.ExportSnapshot())
+		}
+		if stored, rejected := nilStore.ImportSnapshot(pristine); stored != 0 || rejected != 0 {
+			t.Error("nil store accepted an import")
+		}
+		dst := NewStore(StoreConfig{})
+		if stored, rejected := dst.ImportSnapshot(nil); stored != 0 || rejected != 0 {
+			t.Error("nil snapshot imported")
+		}
+	})
+}

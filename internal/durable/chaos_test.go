@@ -1,0 +1,153 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestChaosWALShortWrite: an injected partial write fails the append,
+// leaves a torn frame on disk, and the next Open truncates it away —
+// every fully-acknowledged record survives.
+func TestChaosWALShortWrite(t *testing.T) {
+	defer faultinject.Disarm()
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, []byte("acked-1"), []byte("acked-2"))
+	if err := faultinject.Arm("durable.wal.append=shortwrite:5#1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("torn-record")); err == nil {
+		t.Fatal("short write reported success")
+	}
+	faultinject.Disarm()
+	w.Close()
+	got, w2 := replayAll(t, dir, Options{})
+	defer w2.Close()
+	if len(got) != 2 || !bytes.Equal(got[0], []byte("acked-1")) || !bytes.Equal(got[1], []byte("acked-2")) {
+		t.Fatalf("survivors = %q, want the two acked records", got)
+	}
+	if w2.Stats().Truncated != 1 {
+		t.Errorf("truncated = %d, want 1", w2.Stats().Truncated)
+	}
+	// The recovered log keeps working.
+	appendAll(t, w2, []byte("after-recovery"))
+}
+
+// TestChaosWALENOSPC: a full disk fails the append cleanly — nothing is
+// written, the error surfaces, and the log stays consistent without even
+// needing recovery.
+func TestChaosWALENOSPC(t *testing.T) {
+	defer faultinject.Disarm()
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, []byte("before"))
+	if err := faultinject.Arm("durable.wal.append=enospc#2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := w.Append([]byte("lost")); err == nil {
+			t.Fatal("enospc append reported success")
+		}
+	}
+	faultinject.Disarm()
+	appendAll(t, w, []byte("after"))
+	w.Close()
+	got, w2 := replayAll(t, dir, Options{})
+	defer w2.Close()
+	if len(got) != 2 || !bytes.Equal(got[0], []byte("before")) || !bytes.Equal(got[1], []byte("after")) {
+		t.Fatalf("replay = %q, want [before after] with no torn frames", got)
+	}
+	if st := w2.Stats(); st.Truncated != 0 || st.Corrupt != 0 {
+		t.Errorf("enospc left damage behind: %+v", st)
+	}
+}
+
+// TestChaosWALCorruptWrite: a silently corrupted write is accepted at
+// append time (the disk lied) but caught by CRC32C on the next Open —
+// the damaged record and everything after it are discarded.
+func TestChaosWALCorruptWrite(t *testing.T) {
+	defer faultinject.Disarm()
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, []byte("clean-1"))
+	if err := faultinject.Arm("durable.wal.append=corrupt#1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("bit-rotted")); err != nil {
+		t.Fatalf("corrupt mode must report success (silent corruption): %v", err)
+	}
+	faultinject.Disarm()
+	appendAll(t, w, []byte("shadowed"))
+	w.Close()
+	got, w2 := replayAll(t, dir, Options{})
+	defer w2.Close()
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("clean-1")) {
+		t.Fatalf("replay = %q, want only clean-1", got)
+	}
+	st := w2.Stats()
+	if st.Corrupt != 1 || st.Truncated != 1 {
+		t.Errorf("stats = %+v, want 1 corrupt + 1 truncated", st)
+	}
+}
+
+// TestChaosWALReplayCorruptInjection: bit flips injected on the replay
+// read path are rejected by checksum, counted, and cut the scan — the
+// reader can never be handed a record that fails verification.
+func TestChaosWALReplayCorruptInjection(t *testing.T) {
+	defer faultinject.Disarm()
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		appendAll(t, w, []byte(fmt.Sprintf("record-%d", i)))
+	}
+	w.Close()
+	// Fire on the third frame scanned at Open.
+	if err := faultinject.Arm("durable.wal.replay=corrupt#1"); err != nil {
+		t.Fatal(err)
+	}
+	// Consume the injection budget on frames 1-2 passing clean? No:
+	// #1 fires on the first pass — the first frame scanned. The log is
+	// cut to zero records.
+	got, w2 := replayAll(t, dir, Options{})
+	defer w2.Close()
+	faultinject.Disarm()
+	if len(got) != 0 {
+		t.Fatalf("replayed %q past an injected flip", got)
+	}
+	st := w2.Stats()
+	if st.Corrupt != 1 || st.Truncated != 1 {
+		t.Errorf("stats = %+v, want 1 corrupt + 1 truncated", st)
+	}
+}
+
+// TestChaosWALSyncFailure: an injected fsync error surfaces to the
+// caller instead of being swallowed.
+func TestChaosWALSyncFailure(t *testing.T) {
+	defer faultinject.Disarm()
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := faultinject.Arm("durable.wal.sync=error#1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("x")); err == nil {
+		t.Fatal("sync failure did not surface through Append")
+	}
+}

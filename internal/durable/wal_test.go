@@ -1,0 +1,337 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// appendAll writes records and syncs.
+func appendAll(t *testing.T, w *WAL, recs ...[]byte) {
+	t.Helper()
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+}
+
+// replayAll reopens the log at dir and returns every replayed record.
+func replayAll(t *testing.T, dir string, opts Options) ([][]byte, *WAL) {
+	t.Helper()
+	w, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var got [][]byte
+	if err := w.Replay(func(rec []byte) error {
+		got = append(got, append([]byte(nil), rec...))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, w
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("one"), []byte(`{"type":"submit","id":"job-1"}`), bytes.Repeat([]byte{0}, 1000)}
+	appendAll(t, w, want...)
+	if got := w.Stats().Records; got != 3 {
+		t.Errorf("Records = %d, want 3", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, w2 := replayAll(t, dir, Options{})
+	defer w2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	st := w2.Stats()
+	if st.Replayed != 3 || st.Truncated != 0 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v, want 3 replayed and a clean log", st)
+	}
+}
+
+func TestWALRejectsEmptyAndOversized(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(nil); err == nil {
+		t.Error("empty record accepted")
+	}
+	if err := w.Append(make([]byte, MaxRecordBytes+1)); err == nil {
+		t.Error("oversized record accepted")
+	}
+}
+
+// TestWALTornTail is the table-driven crash-shape suite: a log cut off
+// mid-length, mid-CRC, or mid-body must reopen with exactly the records
+// before the tear and one truncation event — never an error, never a
+// partial record.
+func TestWALTornTail(t *testing.T) {
+	// cut is where the third record's frame is severed, as an offset into
+	// its own frame (header is 8 bytes).
+	cases := []struct {
+		name string
+		cut  int64
+	}{
+		{"mid-length", 2},   // inside the length field
+		{"mid-crc", 6},      // inside the checksum field
+		{"mid-body", 8 + 1}, // one body byte made it to disk
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			w, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+			appendAll(t, w, recs...)
+			w.Close()
+			// Sever the third frame at the case's offset. Frames are
+			// 8+5 bytes each here.
+			seg := filepath.Join(dir, segName(1))
+			frame3 := int64(2 * (frameHeader + 5))
+			if err := os.Truncate(seg, frame3+tc.cut); err != nil {
+				t.Fatal(err)
+			}
+			got, w2 := replayAll(t, dir, Options{})
+			defer w2.Close()
+			if len(got) != 2 {
+				t.Fatalf("replayed %d records, want 2", len(got))
+			}
+			if !bytes.Equal(got[0], recs[0]) || !bytes.Equal(got[1], recs[1]) {
+				t.Errorf("surviving records %q, want %q", got, recs[:2])
+			}
+			st := w2.Stats()
+			if st.Truncated != 1 {
+				t.Errorf("durable.wal_truncated = %d, want 1", st.Truncated)
+			}
+			if st.Corrupt != 0 {
+				t.Errorf("durable.wal_corrupt = %d, want 0 (a short frame is a tear, not a checksum failure)", st.Corrupt)
+			}
+			// The log must accept fresh appends after the cut, and the
+			// next replay must see old survivors then the new record.
+			appendAll(t, w2, []byte("delta"))
+			w2.Close()
+			got2, w3 := replayAll(t, dir, Options{})
+			defer w3.Close()
+			if len(got2) != 3 || !bytes.Equal(got2[2], []byte("delta")) {
+				t.Fatalf("post-recovery log replayed %q", got2)
+			}
+		})
+	}
+}
+
+// TestWALBitFlip: a flipped body bit is caught by CRC32C, rejected, and
+// the log is truncated at the damaged frame.
+func TestWALBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, []byte("alpha"), []byte("beta"), []byte("gamma"))
+	w.Close()
+	seg := filepath.Join(dir, segName(1))
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[frameHeader+5+frameHeader+2] ^= 0x10 // a bit inside "beta"
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, w2 := replayAll(t, dir, Options{})
+	defer w2.Close()
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("alpha")) {
+		t.Fatalf("replayed %q, want only alpha", got)
+	}
+	st := w2.Stats()
+	if st.Corrupt != 1 || st.Truncated != 1 {
+		t.Errorf("stats = %+v, want 1 corrupt + 1 truncated", st)
+	}
+}
+
+// TestWALZeroFilledTail: a preallocated-then-crashed tail of zero bytes
+// must not replay as an endless stream of empty records.
+func TestWALZeroFilledTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, []byte("alpha"))
+	w.Close()
+	seg := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, w2 := replayAll(t, dir, Options{})
+	defer w2.Close()
+	if len(got) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(got))
+	}
+	if w2.Stats().Truncated != 1 {
+		t.Errorf("truncated = %d, want 1", w2.Stats().Truncated)
+	}
+}
+
+// TestWALRotationAndLaterSegmentsDropped: the log rotates at the size
+// threshold, replays across segments in order, and a tear in an early
+// segment discards every later segment (the chain is broken).
+func TestWALRotationAndLaterSegmentsDropped(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 12; i++ {
+		rec := []byte(fmt.Sprintf("record-%02d-padding-padding", i))
+		want = append(want, rec)
+	}
+	appendAll(t, w, want...)
+	w.Close()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce >= 3 segments, got %v", segs)
+	}
+	got, w2 := replayAll(t, dir, Options{SegmentBytes: 64})
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	w2.Close()
+
+	// Damage the second segment's first frame: everything from that
+	// frame on — including segments 3+ — is unreachable.
+	raw, err := os.ReadFile(filepath.Join(dir, segName(segs[1])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[frameHeader+2] ^= 0x01
+	if err := os.WriteFile(filepath.Join(dir, segName(segs[1])), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got2, w3 := replayAll(t, dir, Options{SegmentBytes: 64})
+	defer w3.Close()
+	inFirst := 0
+	for off := int64(0); ; inFirst++ {
+		off += frameHeader + int64(len(want[inFirst]))
+		if off >= 64 {
+			inFirst++
+			break
+		}
+	}
+	if len(got2) != inFirst {
+		t.Fatalf("replayed %d records after mid-chain damage, want %d (first segment only)", len(got2), inFirst)
+	}
+	after, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 2 {
+		t.Fatalf("later segments not dropped: %v", after)
+	}
+}
+
+func TestWALCompact(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		appendAll(t, w, []byte(fmt.Sprintf("old-record-%02d-padding", i)))
+	}
+	keep := [][]byte{[]byte("kept-1"), []byte("kept-2")}
+	if err := w.Compact(keep); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compact appends land after the kept records.
+	appendAll(t, w, []byte("new-after-compact"))
+	w.Close()
+	got, w2 := replayAll(t, dir, Options{})
+	defer w2.Close()
+	if len(got) != 3 || !bytes.Equal(got[0], keep[0]) || !bytes.Equal(got[1], keep[1]) || !bytes.Equal(got[2], []byte("new-after-compact")) {
+		t.Fatalf("post-compact replay = %q", got)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Errorf("compact left %v segments, want exactly one", segs)
+	}
+}
+
+// TestWALSyncBatching: with a long SyncEvery, appends don't fsync each
+// time (observable only as "no error" here — the contract test is that
+// Sync and Close still force the flush and nothing is lost).
+func TestWALSyncBatching(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil { // Close must flush the batch
+		t.Fatal(err)
+	}
+	got, w2 := replayAll(t, dir, Options{})
+	defer w2.Close()
+	if len(got) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(got))
+	}
+}
+
+func TestWALClosedAppendFails(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := w.Append([]byte("x")); err == nil {
+		t.Error("append after Close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}

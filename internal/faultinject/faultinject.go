@@ -20,11 +20,23 @@
 //
 // Modes:
 //
-//	panic       Fire panics with a recognizable "faultinject:" value
-//	error       Fire returns an *InjectedError
-//	delay:DUR   Fire sleeps DUR, then returns nil
-//	drop        Fire returns nil; ShouldDrop reports true (the call site
-//	            degrades its data — drops a row, truncates a grid, …)
+//	panic        Fire panics with a recognizable "faultinject:" value
+//	error        Fire returns an *InjectedError
+//	delay:DUR    Fire sleeps DUR, then returns nil
+//	drop         Fire returns nil; ShouldDrop reports true (the call site
+//	             degrades its data — drops a row, truncates a grid, …)
+//	shortwrite:N FireIO reports a partial-write fault: the call site must
+//	             write only the first N bytes, then fail (a torn frame —
+//	             what a crash mid-write leaves behind)
+//	enospc       FireIO reports a disk-full fault: the call site fails
+//	             without writing anything
+//	corrupt      FireIO reports a bit-flip fault: the call site writes the
+//	             full payload with one bit flipped (silent media
+//	             corruption — the write "succeeds")
+//
+// The I/O modes fire only through FireIO — Fire ignores them without
+// consuming their count, so a WAL write path can call Fire (classic
+// faults) and FireIO (I/O shapes) back-to-back on the same point.
 //
 // A trailing #N fires the fault on the first N passes through the point,
 // then the point behaves normally; omitted means every pass. Armed points
@@ -49,7 +61,16 @@ const (
 	ModeError Mode = "error"
 	ModeDelay Mode = "delay"
 	ModeDrop  Mode = "drop"
+	// I/O-shaped modes, reported through FireIO.
+	ModeShortWrite Mode = "shortwrite"
+	ModeENOSPC     Mode = "enospc"
+	ModeCorrupt    Mode = "corrupt"
 )
+
+// isIO reports whether a mode fires through FireIO rather than Fire.
+func isIO(m Mode) bool {
+	return m == ModeShortWrite || m == ModeENOSPC || m == ModeCorrupt
+}
 
 // InjectedError marks an error as deliberately injected, so chaos tests
 // can assert it surfaced (and real error handling can ignore that it is
@@ -66,6 +87,8 @@ func (e *InjectedError) Error() string {
 type plan struct {
 	mode  Mode
 	delay time.Duration
+	// n is the shortwrite byte budget.
+	n int
 	// remaining is the number of passes left to fire on; negative means
 	// unlimited.
 	remaining atomic.Int64
@@ -122,7 +145,7 @@ func Arm(spec string) error {
 		}
 		modeStr, arg, _ := strings.Cut(rhs, ":")
 		switch Mode(modeStr) {
-		case ModePanic, ModeError, ModeDrop:
+		case ModePanic, ModeError, ModeDrop, ModeENOSPC, ModeCorrupt:
 			if arg != "" {
 				return fmt.Errorf("faultinject: mode %s takes no argument (%q)", modeStr, field)
 			}
@@ -134,6 +157,13 @@ func Arm(spec string) error {
 			}
 			p.mode = ModeDelay
 			p.delay = d
+		case ModeShortWrite:
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 0 {
+				return fmt.Errorf("faultinject: bad shortwrite byte count in %q", field)
+			}
+			p.mode = ModeShortWrite
+			p.n = n
 		default:
 			return fmt.Errorf("faultinject: unknown mode %q in %q", modeStr, field)
 		}
@@ -193,7 +223,7 @@ func Fire(point string) error {
 		return nil
 	}
 	p := lookup(point)
-	if p == nil || p.mode == ModeDrop || !p.take() {
+	if p == nil || p.mode == ModeDrop || isIO(p.mode) || !p.take() {
 		return nil
 	}
 	switch p.mode {
@@ -205,6 +235,38 @@ func Fire(point string) error {
 	default:
 		return &InjectedError{Point: point}
 	}
+}
+
+// IOFault describes one injected I/O misbehaviour returned by FireIO.
+// The call site interprets it: ModeShortWrite means "persist only the
+// first N payload bytes, then fail the write", ModeENOSPC means "fail
+// without persisting anything", ModeCorrupt means "persist the full
+// payload with a bit flipped and report success".
+type IOFault struct {
+	Point string
+	Mode  Mode
+	// N is the shortwrite byte budget (bytes that reach the disk before
+	// the cord is pulled).
+	N int
+}
+
+func (f *IOFault) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at %s", f.Mode, f.Point)
+}
+
+// FireIO is the injection point for I/O-shaped faults (shortwrite,
+// enospc, corrupt). With nothing armed it costs one atomic load and
+// returns nil; classic modes armed on the same point are ignored here
+// without consuming their count (they belong to Fire).
+func FireIO(point string) *IOFault {
+	if !enabled.Load() {
+		return nil
+	}
+	p := lookup(point)
+	if p == nil || !isIO(p.mode) || !p.take() {
+		return nil
+	}
+	return &IOFault{Point: point, Mode: p.mode, N: p.n}
 }
 
 // ShouldDrop is the data-corruption injection point: it reports whether

@@ -1,0 +1,95 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestArmIOModes(t *testing.T) {
+	defer Disarm()
+	cases := []struct {
+		spec string
+		ok   bool
+	}{
+		{"wal.append=shortwrite:7", true},
+		{"wal.append=shortwrite:0", true},
+		{"wal.append=shortwrite:7#2", true},
+		{"wal.append=enospc", true},
+		{"wal.append=corrupt#1", true},
+		{"wal.append=shortwrite", false},    // missing byte count
+		{"wal.append=shortwrite:-1", false}, // negative budget
+		{"wal.append=shortwrite:x", false},  // non-numeric
+		{"wal.append=enospc:1", false},      // takes no argument
+		{"wal.append=corrupt:bit", false},   // takes no argument
+	}
+	for _, tc := range cases {
+		err := Arm(tc.spec)
+		if tc.ok && err != nil {
+			t.Errorf("Arm(%q) = %v, want nil", tc.spec, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("Arm(%q) accepted", tc.spec)
+		}
+		Disarm()
+	}
+}
+
+func TestFireIOShapes(t *testing.T) {
+	defer Disarm()
+	if err := Arm("a=shortwrite:13;b=enospc;c=corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	f := FireIO("a")
+	if f == nil || f.Mode != ModeShortWrite || f.N != 13 {
+		t.Fatalf("FireIO(a) = %+v, want shortwrite N=13", f)
+	}
+	if !strings.Contains(f.Error(), "shortwrite") || !strings.Contains(f.Error(), "a") {
+		t.Errorf("IOFault error %q lacks mode/point", f.Error())
+	}
+	if f := FireIO("b"); f == nil || f.Mode != ModeENOSPC {
+		t.Fatalf("FireIO(b) = %+v, want enospc", f)
+	}
+	if f := FireIO("c"); f == nil || f.Mode != ModeCorrupt {
+		t.Fatalf("FireIO(c) = %+v, want corrupt", f)
+	}
+	if f := FireIO("unarmed"); f != nil {
+		t.Errorf("FireIO on unarmed point = %+v", f)
+	}
+}
+
+// TestFireIgnoresIOModes pins the dual-dispatch contract: an I/O mode
+// never fires through Fire, and Fire does not consume its count — a
+// call site probing both injectors sees exactly the armed number of
+// I/O faults.
+func TestFireIgnoresIOModes(t *testing.T) {
+	defer Disarm()
+	if err := Arm("p=shortwrite:4#1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := Fire("p"); err != nil {
+			t.Fatalf("Fire consumed an I/O fault: %v", err)
+		}
+	}
+	if f := FireIO("p"); f == nil {
+		t.Fatal("budgeted I/O fault was consumed by Fire")
+	}
+	if f := FireIO("p"); f != nil {
+		t.Fatalf("fault fired past its #1 budget: %+v", f)
+	}
+}
+
+// TestFireIOIgnoresClassicModes: the mirror contract — FireIO passes
+// classic modes through untouched for Fire.
+func TestFireIOIgnoresClassicModes(t *testing.T) {
+	defer Disarm()
+	if err := Arm("p=error#1"); err != nil {
+		t.Fatal(err)
+	}
+	if f := FireIO("p"); f != nil {
+		t.Fatalf("FireIO fired a classic mode: %+v", f)
+	}
+	if err := Fire("p"); err == nil {
+		t.Fatal("Fire budget was consumed by FireIO")
+	}
+}

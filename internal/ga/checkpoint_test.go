@@ -1,0 +1,234 @@
+package ga
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// sameResult asserts bit-exact agreement on the resumable parts of a
+// Result: Best, BestFitness, History, Generations. (Evaluations/CacheHits
+// are per-process bookkeeping and legitimately differ across a resume.)
+func sameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Generations != want.Generations {
+		t.Errorf("%s: Generations = %d, want %d", label, got.Generations, want.Generations)
+	}
+	if math.Float64bits(got.BestFitness) != math.Float64bits(want.BestFitness) {
+		t.Errorf("%s: BestFitness = %v, want %v", label, got.BestFitness, want.BestFitness)
+	}
+	if len(got.Best) != len(want.Best) {
+		t.Fatalf("%s: Best length %d, want %d", label, len(got.Best), len(want.Best))
+	}
+	for i := range want.Best {
+		if math.Float64bits(got.Best[i]) != math.Float64bits(want.Best[i]) {
+			t.Errorf("%s: Best[%d] = %v, want %v", label, i, got.Best[i], want.Best[i])
+		}
+	}
+	if len(got.History) != len(want.History) {
+		t.Fatalf("%s: History length %d, want %d", label, len(got.History), len(want.History))
+	}
+	for i := range want.History {
+		if math.Float64bits(got.History[i]) != math.Float64bits(want.History[i]) {
+			t.Errorf("%s: History[%d] = %v, want %v", label, i, got.History[i], want.History[i])
+		}
+	}
+}
+
+func checkpointConfig() Config {
+	return Config{
+		GenomeLen:   12,
+		MaxActive:   4,
+		PopSize:     24,
+		Generations: 30,
+		Seed:        "checkpoint",
+		Fitness:     sphere([]float64{0.4, 0, 0.9, 0, 0, 0.2, 0, 0, 0, 0.7, 0, 0}),
+	}
+}
+
+// TestCheckpointResumeExact is the contract at the heart of crash
+// recovery: resuming from ANY captured checkpoint — first, middle, or
+// last generation — reproduces the uninterrupted run's result
+// bit-for-bit, at every worker count.
+func TestCheckpointResumeExact(t *testing.T) {
+	var cps []*Checkpoint
+	cfg := checkpointConfig()
+	cfg.OnCheckpoint = func(cp *Checkpoint) { cps = append(cps, cp) }
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != want.Generations {
+		t.Fatalf("captured %d checkpoints, ran %d generations", len(cps), want.Generations)
+	}
+	for _, gen := range []int{0, len(cps) / 2, len(cps) - 1} {
+		cp := cps[gen]
+		if cp.Gen != gen {
+			t.Fatalf("checkpoint %d records Gen %d", gen, cp.Gen)
+		}
+		for _, workers := range []int{1, 4} {
+			rcfg := checkpointConfig()
+			rcfg.Resume = cp
+			rcfg.Workers = workers
+			got, err := Run(rcfg)
+			if err != nil {
+				t.Fatalf("resume from gen %d (workers %d): %v", gen, workers, err)
+			}
+			sameResult(t, "resume@"+string(rune('0'+gen%10)), got, want)
+		}
+	}
+}
+
+// TestCheckpointJSONRoundTrip pins the durability format: a checkpoint
+// that travelled through encoding/json resumes as exactly as the live
+// object — float64 values survive the text round-trip bit-for-bit.
+func TestCheckpointJSONRoundTrip(t *testing.T) {
+	var cps []*Checkpoint
+	cfg := checkpointConfig()
+	cfg.OnCheckpoint = func(cp *Checkpoint) { cps = append(cps, cp) }
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(cps[len(cps)/3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := new(Checkpoint)
+	if err := json.Unmarshal(raw, decoded); err != nil {
+		t.Fatal(err)
+	}
+	rcfg := checkpointConfig()
+	rcfg.Resume = decoded
+	got, err := Run(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "json round-trip", got, want)
+}
+
+// TestCheckpointPassive proves the tap is free of side effects: a run
+// observed by OnCheckpoint is bit-identical to an unobserved one, and
+// mutating a captured checkpoint afterwards cannot reach into the live
+// population.
+func TestCheckpointPassive(t *testing.T) {
+	plain, err := Run(checkpointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := checkpointConfig()
+	cfg.OnCheckpoint = func(cp *Checkpoint) {
+		// Vandalise everything the callback is handed; a non-cloned
+		// implementation would corrupt the evolution.
+		for i := range cp.Pop {
+			for j := range cp.Pop[i] {
+				cp.Pop[i][j] = math.NaN()
+			}
+		}
+		for i := range cp.Best {
+			cp.Best[i] = -1
+		}
+		for i := range cp.History {
+			cp.History[i] = 0
+		}
+	}
+	observed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "observed vs plain", observed, plain)
+}
+
+// TestCheckpointResumeStall covers the early-stop interplay: a stalled
+// run's own final checkpoint resumes to the identical finished result
+// (no extra generations), and a mid-run checkpoint resumes through the
+// stall cutoff to the same early stop.
+func TestCheckpointResumeStall(t *testing.T) {
+	var cps []*Checkpoint
+	cfg := checkpointConfig()
+	cfg.Generations = 200
+	cfg.StallGenerations = 8
+	cfg.OnCheckpoint = func(cp *Checkpoint) { cps = append(cps, cp) }
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Generations >= 200 {
+		t.Fatalf("stall cutoff never fired (%d generations)", want.Generations)
+	}
+	for _, gen := range []int{1, len(cps) - 1} {
+		rcfg := checkpointConfig()
+		rcfg.Generations = 200
+		rcfg.StallGenerations = 8
+		rcfg.Resume = cps[gen]
+		got, err := Run(rcfg)
+		if err != nil {
+			t.Fatalf("resume from gen %d: %v", gen, err)
+		}
+		sameResult(t, "stalled resume", got, want)
+	}
+}
+
+// TestCheckpointResumePrecedence: Resume wins over Seeds — the
+// warm-start injection must not disturb an exact resume.
+func TestCheckpointResumePrecedence(t *testing.T) {
+	var cps []*Checkpoint
+	cfg := checkpointConfig()
+	cfg.OnCheckpoint = func(cp *Checkpoint) { cps = append(cps, cp) }
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := checkpointConfig()
+	rcfg.Resume = cps[len(cps)/2]
+	rcfg.Seeds = [][]float64{{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}}
+	got, err := Run(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "resume with seeds present", got, want)
+}
+
+// TestCheckpointValidate rejects checkpoints whose shape cannot have
+// come from the configured run.
+func TestCheckpointValidate(t *testing.T) {
+	var cps []*Checkpoint
+	cfg := checkpointConfig()
+	cfg.OnCheckpoint = func(cp *Checkpoint) { cps = append(cps, cp) }
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	good := cps[3]
+	cases := []struct {
+		name    string
+		mutate  func(cp *Checkpoint)
+		wantSub string
+	}{
+		{"population size", func(cp *Checkpoint) { cp.Pop = cp.Pop[:len(cp.Pop)-1] }, "population"},
+		{"genome length", func(cp *Checkpoint) { cp.Pop[2] = cp.Pop[2][:5] }, "genome 2"},
+		{"best length", func(cp *Checkpoint) { cp.Best = cp.Best[:3] }, "best genome"},
+		{"negative gen", func(cp *Checkpoint) { cp.Gen = -1 }, "generation"},
+		{"gen past end", func(cp *Checkpoint) { cp.Gen = 30 }, "generation"},
+		{"history shape", func(cp *Checkpoint) { cp.History = cp.History[:1] }, "history"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Deep-enough copy: each case mutates its own view.
+			cp := *good
+			cp.Pop = append([][]float64(nil), good.Pop...)
+			cp.Best = append([]float64(nil), good.Best...)
+			cp.History = append([]float64(nil), good.History...)
+			tc.mutate(&cp)
+			rcfg := checkpointConfig()
+			rcfg.Resume = &cp
+			_, err := Run(rcfg)
+			if err == nil {
+				t.Fatal("malformed checkpoint accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}

@@ -80,13 +80,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 // jobRun builds the background attempt function for one submitted job:
 // each attempt takes a worker slot (jobs share the admission pool with
-// synchronous requests), runs the evaluation with the GA progress tap
-// wired to the job's snapshot stream, and — on resume attempts — seeds
-// the surrogate search from the checkpoint genomes. Job results bypass
-// the result LRU: a resumed search is not byte-comparable with a cold
-// one, so its document must never shadow the deterministic cache.
+// synchronous requests), runs the evaluation with the GA progress and
+// checkpoint taps wired to the job's streams, and — on resume attempts —
+// restores the surrogate search from the newest full checkpoints (exact,
+// bit-identical to an uninterrupted run) when the job has them, falling
+// back to checkpoint genomes as GA seeds otherwise. Job results bypass
+// the result LRU: a seed-resumed search is not byte-comparable with a
+// cold one, so its document must never shadow the deterministic cache.
 func (s *Server) jobRun(spec endpointSpec, req swapp.Request) cluster.RunFunc {
-	return func(ctx context.Context, seeds [][]float64, progress func(cluster.Snapshot)) ([]byte, error) {
+	return func(ctx context.Context, resume cluster.Resume, tap cluster.Tap) ([]byte, error) {
 		if err := s.admit(ctx); err != nil {
 			return nil, err
 		}
@@ -98,10 +100,14 @@ func (s *Server) jobRun(spec endpointSpec, req swapp.Request) cluster.RunFunc {
 		evalReq.StageTimeout = s.cfg.StageTimeout
 		evalReq.Store = s.store
 		evalReq.WarmStart = s.cfg.WarmStart
-		evalReq.ResumeSeeds = seeds
-		evalReq.OnGAProgress = func(member, gen int, best float64, genome []float64) {
-			progress(cluster.Snapshot{Member: member, Generation: gen, BestFitness: best, Best: genome})
+		evalReq.ResumeSeeds = resume.Seeds
+		evalReq.ResumeCheckpoints = resume.Checkpoints
+		if tap.Progress != nil {
+			evalReq.OnGAProgress = func(member, gen int, best float64, genome []float64) {
+				tap.Progress(cluster.Snapshot{Member: member, Generation: gen, BestFitness: best, Best: genome})
+			}
 		}
+		evalReq.OnGACheckpoint = tap.Checkpoint
 		res, err := s.runEval(ctx, spec.op, evalReq)
 		if err != nil {
 			return nil, err
@@ -150,10 +156,11 @@ func (s *Server) handleJobHandoff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, err := s.jobs.SubmitJob(cluster.JobSpec{
-		Op:      op,
-		Group:   h.Group,
-		Payload: h.Payload,
-		Seeds:   h.Seeds,
+		Op:          op,
+		Group:       h.Group,
+		Payload:     h.Payload,
+		Seeds:       h.Seeds,
+		Checkpoints: h.Checkpoints,
 	}, s.jobRun(spec, req))
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
@@ -214,8 +221,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 // serveJobEvents streams a job's progress as Server-Sent Events: the
 // retained history replays first, then live snapshots, then exactly one
-// "done" event closes the stream. Each event is one `data:` line holding
-// the cluster.Event JSON.
+// terminal event — "done", or "handed_off" carrying the forwarding target
+// for jobs drained to another replica — closes the stream. Each event is
+// one `data:` line holding the cluster.Event JSON.
 func (s *Server) serveJobEvents(w http.ResponseWriter, r *http.Request, job *cluster.Job) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -242,7 +250,7 @@ func (s *Server) serveJobEvents(w http.ResponseWriter, r *http.Request, job *clu
 			}
 			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, b)
 			flusher.Flush()
-			if ev.Type == "done" {
+			if ev.Type == "done" || ev.Type == "handed_off" {
 				return
 			}
 		case <-r.Context().Done():

@@ -252,31 +252,38 @@ func (s *Server) SetMembership(alive []string) {
 // restarting it. Returns how many jobs were handed off successfully.
 func (s *Server) Handoff(ctx context.Context) int {
 	hands := s.jobs.DrainForHandoff()
-	if len(hands) == 0 || s.peers == nil {
-		return 0
-	}
 	sent := 0
 	for _, h := range hands {
-		pc := s.peers.handoffTarget(h.Group)
-		if pc == nil {
-			s.obs.Count("cluster.job_handoff_drops", 1)
-			continue
+		// Every drained job must resolve its forwarding address — possibly
+		// to "none" — so its subscribers' terminal handed_off event can go
+		// out and their streams close.
+		target := ""
+		if s.peers != nil {
+			if pc := s.peers.handoffTarget(h.Group); pc != nil {
+				if err := s.shipHandoff(ctx, pc, h); err != nil {
+					s.obs.Count("cluster.job_handoff_fails", 1)
+				} else {
+					target = pc.addr
+					s.obs.Count("cluster.job_handoffs", 1)
+					sent++
+				}
+			} else {
+				s.obs.Count("cluster.job_handoff_drops", 1)
+			}
 		}
-		payload, err := json.Marshal(h)
-		if err != nil {
-			s.obs.Count("cluster.job_handoff_drops", 1)
-			continue
-		}
-		hctx, cancel := context.WithTimeout(ctx, replicatePushTimeout)
-		_, _, err = pc.client.PostRaw(hctx, "/v1/jobs/handoff", payload, nil)
-		cancel()
-		if err != nil {
-			s.obs.Count("cluster.job_handoff_fails", 1)
-			continue
-		}
-		s.jobs.MarkHandoffTarget(h.ID, pc.addr)
-		s.obs.Count("cluster.job_handoffs", 1)
-		sent++
+		s.jobs.MarkHandoffTarget(h.ID, target)
 	}
 	return sent
+}
+
+// shipHandoff posts one drained job's transferable state to its new owner.
+func (s *Server) shipHandoff(ctx context.Context, pc *peerClient, h cluster.Handoff) error {
+	payload, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	hctx, cancel := context.WithTimeout(ctx, replicatePushTimeout)
+	defer cancel()
+	_, _, err = pc.client.PostRaw(hctx, "/v1/jobs/handoff", payload, nil)
+	return err
 }

@@ -148,17 +148,39 @@ type Config struct {
 	// declared dead (default 3×GossipInterval).
 	GossipProbeTimeout time.Duration
 	GossipSuspectAfter time.Duration
-	// JobsMaxActive / JobsMaxQueued / JobsMaxResumes / JobsTimeout
-	// parameterise the async jobs API (zero values take the
-	// cluster.ManagerConfig defaults).
+	// JobsMaxActive / JobsMaxQueued / JobsMaxResumes / JobsTimeout /
+	// JobsRetain / JobsRetainAge parameterise the async jobs API (zero
+	// values take the cluster.ManagerConfig defaults; JobsRetainAge 0
+	// keeps the pure count-based retention).
 	JobsMaxActive  int
 	JobsMaxQueued  int
 	JobsMaxResumes int
 	JobsTimeout    time.Duration
+	JobsRetain     int
+	JobsRetainAge  time.Duration
+	// DataDir roots the server's durable state: a WAL-backed job journal
+	// under DataDir/journal plus the layered store's snapshot file. Only
+	// NewDurable honours it — with DataDir set it replays the journal at
+	// startup, resurrecting jobs a crashed process left unfinished
+	// (counted as jobs.recovered) and resuming them from their newest
+	// journalled checkpoints. Empty (the default) keeps the fully
+	// in-memory behaviour, byte-identical to pre-durability builds.
+	DataDir string
+	// WALSyncEvery batches the journal's fsyncs (see durable.Options);
+	// 0 — the default — syncs every record, the safe choice for kill -9
+	// recovery.
+	WALSyncEvery time.Duration
+	// SnapshotOnDrain exports the layered store (characterisations and
+	// artifact vault) to DataDir on drain, so a restarted replica warms
+	// up from disk instead of recomputing the world.
+	SnapshotOnDrain bool
 	// Eval overrides the evaluation function (tests).
 	Eval EvalFunc
 	// nowFn overrides the breaker's clock (tests).
 	nowFn func() time.Time
+	// journal is plumbed by NewDurable into the job manager; New leaves
+	// it nil (journalling off).
+	journal *cluster.Journal
 }
 
 // Server is the projection service. Create with New, expose via Handler.
@@ -171,6 +193,8 @@ type Server struct {
 	breaker *breaker         // nil when disabled
 	peers   *peerSet         // nil when peer-aware mode is off
 	jobs    *cluster.Manager // async jobs API
+
+	journal *cluster.Journal // durable job journal; nil without DataDir
 
 	gossip       *cluster.Gossip    // nil in static-membership mode
 	gossipCancel context.CancelFunc // stops the gossip loop (Close)
@@ -243,24 +267,30 @@ func New(cfg Config) *Server {
 			go s.gossip.Run(gctx)
 		}
 	}
+	s.journal = cfg.journal
 	s.jobs = cluster.NewManager(cluster.ManagerConfig{
 		MaxActive:  cfg.JobsMaxActive,
 		MaxQueued:  cfg.JobsMaxQueued,
 		MaxResumes: cfg.JobsMaxResumes,
 		Timeout:    cfg.JobsTimeout,
+		Retain:     cfg.JobsRetain,
+		RetainAge:  cfg.JobsRetainAge,
+		Journal:    cfg.journal,
 		Obs:        cfg.Obs,
 	})
 	return s
 }
 
-// Close stops the gossip loop and accepting async job submissions; running
-// jobs finish on their own. Serving endpoints are unaffected (the HTTP
-// listener's Shutdown handles those).
+// Close stops the gossip loop and accepting async job submissions, and
+// flushes the durable job journal; running jobs finish on their own.
+// Serving endpoints are unaffected (the HTTP listener's Shutdown handles
+// those).
 func (s *Server) Close() {
 	if s.gossipCancel != nil {
 		s.gossipCancel()
 	}
 	s.jobs.Close()
+	_ = s.journal.Sync()
 }
 
 // SetDraining flips the readiness state: once draining, /readyz answers

@@ -59,16 +59,25 @@ start_replica() { # start_replica <index>
         -gossip-interval 200ms >"$tmp/out$i.log" 2>"$tmp/err$i.log" &
     pids[$i]=$!
 }
-wait_healthy() { # wait_healthy <port>
-    for _ in $(seq 1 100); do
-        curl -fsS "http://127.0.0.1:$1/healthz" >/dev/null 2>&1 && return 0
+# wait_for bounds every polling loop in this script: re-run a predicate
+# command at 10Hz until it succeeds or the budget runs out, then fail with
+# a message naming what never happened — a CI hang becomes a diagnosis.
+wait_for() { # wait_for <tries> <what> <cmd...>
+    local tries=$1 what=$2
+    shift 2
+    for _ in $(seq 1 "$tries"); do
+        "$@" && return 0
         sleep 0.1
     done
-    echo "cluster-smoke: replica on port $1 never became healthy" >&2
+    echo "cluster-smoke: timeout waiting for $what" >&2
     return 1
 }
+healthy() { curl -fsS -m 5 "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; }
+wait_healthy() { # wait_healthy <port>
+    wait_for 100 "replica on port $1 to become healthy" healthy "$1"
+}
 metric() { # metric <base-url> <counters|gauges> <name> -> integer value (0 when absent)
-    curl -fsS "$1/debug/vars" 2>/dev/null | python3 -c '
+    curl -fsS -m 5 "$1/debug/vars" 2>/dev/null | python3 -c '
 import json, sys
 doc = json.load(sys.stdin)
 for m in doc.get("swapp.metrics", {}).get(sys.argv[1], []):
@@ -78,13 +87,9 @@ else:
     print(0)
 ' "$2" "$3" || echo 0
 }
+gauge_is() { [ "$(metric "$1" gauges "$2")" = "$3" ]; }
 wait_gauge() { # wait_gauge <base-url> <name> <want> <what>
-    for _ in $(seq 1 100); do
-        [ "$(metric "$1" gauges "$2")" = "$3" ] && return 0
-        sleep 0.1
-    done
-    echo "cluster-smoke: timeout waiting for $4 ($2=$3 at $1)" >&2
-    return 1
+    wait_for 100 "$4 ($2=$3 at $1)" gauge_is "$1" "$2" "$3"
 }
 
 start_replica 1; start_replica 2; start_replica 3
@@ -112,7 +117,7 @@ assert doc["groups"] == 2, f'{doc["groups"]} groups, want 2'
 EOF
 }
 
-curl -fsS -X POST "$u1/v1/batch" -d "$batch" -o "$tmp/batch1.json"
+curl -fsS -m 120 -X POST "$u1/v1/batch" -d "$batch" -o "$tmp/batch1.json"
 check_batch "$tmp/batch1.json"
 echo "cluster-smoke: grouped batch round-trip ok"
 
@@ -120,7 +125,7 @@ echo "cluster-smoke: grouped batch round-trip ok"
 # Compute one result through replica 1; X-Swapp-Peer names the owner when
 # the request was forwarded, silence means replica 1 owns the group itself.
 req='{"target":"westmere-x5670","bench":"BT-MZ","class":"C","ranks":16}'
-curl -fsS -D "$tmp/warm.hdr" -X POST "$u1/v1/project" -d "$req" -o "$tmp/warm.json"
+curl -fsS -m 120 -D "$tmp/warm.hdr" -X POST "$u1/v1/project" -d "$req" -o "$tmp/warm.json"
 owner_url=$(awk 'tolower($1)=="x-swapp-peer:"{print $2}' "$tmp/warm.hdr" | tr -d '\r')
 owner_url=${owner_url:-$u1}
 owner=0
@@ -131,15 +136,14 @@ for k in 1 2 3; do [ "$k" != "$owner" ] && survivors+=("$k"); done
 
 # The owner's replication push is asynchronous: wait until the rendered
 # bytes landed in a survivor's vault before pulling the plug.
-for _ in $(seq 1 100); do
-    stored=0
+replicated() {
+    local stored=0 k
     for k in "${survivors[@]}"; do
         stored=$((stored + $(metric "${urls[$k]}" counters cluster.replica_stores)))
     done
-    [ "$stored" -ge 1 ] && break
-    sleep 0.1
-done
-[ "$stored" -ge 1 ] || { echo "cluster-smoke: owner never replicated the warm result" >&2; exit 1; }
+    [ "$stored" -ge 1 ]
+}
+wait_for 100 "replica $owner to replicate the warm result to a survivor (cluster.replica_stores >= 1)" replicated
 echo "cluster-smoke: warm result computed on replica $owner and replicated"
 
 # SIGKILL the owner — no drain, the crash case — and wait for gossip to
@@ -155,7 +159,7 @@ echo "cluster-smoke: gossip evicted the dead owner from both survivors"
 # Every surviving entry point must now answer the warm request with the
 # dead owner's exact bytes, served from the replica vault, not recomputed.
 for k in "${survivors[@]}"; do
-    curl -fsS -D "$tmp/fo$k.hdr" -X POST "${urls[$k]}/v1/project" -d "$req" -o "$tmp/fo$k.json"
+    curl -fsS -m 120 -D "$tmp/fo$k.hdr" -X POST "${urls[$k]}/v1/project" -d "$req" -o "$tmp/fo$k.json"
     cmp -s "$tmp/warm.json" "$tmp/fo$k.json" || {
         echo "cluster-smoke: replica $k served different bytes than the dead owner" >&2; exit 1; }
     grep -qi '^x-cache: replica' "$tmp/fo$k.hdr" || {
@@ -171,7 +175,7 @@ echo "cluster-smoke: warm failover served byte-identically (replica_hits=$hits)"
 
 # The grouped batch still answers byte-identically through a survivor.
 s1=${survivors[0]}
-curl -fsS -X POST "${urls[$s1]}/v1/batch" -d "$batch" -o "$tmp/batch2.json"
+curl -fsS -m 120 -X POST "${urls[$s1]}/v1/batch" -d "$batch" -o "$tmp/batch2.json"
 check_batch "$tmp/batch2.json"
 cmp -s "$tmp/batch1.json" "$tmp/batch2.json" || {
     echo "cluster-smoke: failover batch differs from the healthy one" >&2; exit 1; }
@@ -184,7 +188,7 @@ wait_healthy "${ports[$owner]}"
 for k in "${survivors[@]}"; do
     wait_gauge "${urls[$k]}" cluster.ring_size 3 "gossip to readmit the rejoined replica"
 done
-curl -fsS -X POST "$u1/v1/batch" -d "$batch" -o "$tmp/batch3.json"
+curl -fsS -m 120 -X POST "$u1/v1/batch" -d "$batch" -o "$tmp/batch3.json"
 check_batch "$tmp/batch3.json"
 cmp -s "$tmp/batch1.json" "$tmp/batch3.json" || {
     echo "cluster-smoke: post-rejoin batch differs from the healthy one" >&2; exit 1; }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/figures"
+	"repro/internal/ga"
 	"repro/internal/mpi"
 	"repro/internal/nas"
 	"repro/internal/obs"
@@ -128,6 +129,18 @@ type Request struct {
 	// searches bypass Store's content-addressed surrogate entries and
 	// record a GAResume defect in the projection's Quality report.
 	ResumeSeeds [][]float64
+	// OnGACheckpoint, when non-nil, receives each GA ensemble member's
+	// full evolution state after every evolved generation — the
+	// durability tap for crash-recoverable jobs (see ga.Checkpoint).
+	// Strictly passive; must be safe for concurrent calls.
+	OnGACheckpoint func(member int, cp *ga.Checkpoint)
+	// ResumeCheckpoints, when non-empty, restore the GA ensemble members
+	// from checkpoints captured by OnGACheckpoint (indexed by member; nil
+	// members start cold). This is the EXACT resume path: for a search
+	// that started cold under the same request, the result is
+	// bit-identical to the uninterrupted run's, so no quality defect is
+	// recorded. Takes precedence over ResumeSeeds.
+	ResumeCheckpoints []*ga.Checkpoint
 }
 
 // withDefaults validates and fills the request.
@@ -285,7 +298,8 @@ func prepare(ctx context.Context, req Request) (*core.Pipeline, *core.AppModel, 
 		pipe, err = core.NewPipelineCtx(c, base, target, counts,
 			core.Options{Workers: req.Workers, Obs: req.Obs, Data: req.Data,
 				Store: req.Store, WarmStart: req.WarmStart,
-				OnGAProgress: req.OnGAProgress, SurrogateSeeds: req.ResumeSeeds})
+				OnGAProgress: req.OnGAProgress, SurrogateSeeds: req.ResumeSeeds,
+				OnGACheckpoint: req.OnGACheckpoint, SurrogateCheckpoints: req.ResumeCheckpoints})
 		return err
 	}); err != nil {
 		return nil, nil, err
